@@ -1,0 +1,18 @@
+"""Benchmark: the technique-stacking ablation (DESIGN.md extension)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.ablation_techniques import run
+
+
+def test_ablation_techniques(benchmark, tiny_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=tiny_workloads)
+    print()
+    result.print()
+    gmean = [row for row in result.rows if row[0] == "GMEAN"][0]
+    fwb, fwb_wb, no_sfrm, full = gmean[1:5]
+    # Stacking techniques never collapses performance; full DAP ends on top
+    # (small tolerances for smoke-scale noise).
+    assert full >= fwb - 0.03
+    assert full >= max(fwb, fwb_wb, no_sfrm) - 0.03

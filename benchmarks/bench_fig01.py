@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 1 (delivered bandwidth vs hit rate)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig01_bandwidth_vs_hitrate import run
+
+
+def test_fig01_bandwidth_vs_hitrate(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE)
+    print()
+    result.print()
+    dram = result.column(1)
+    edram = result.column(3)
+    # DRAM cache: rises while MM-bound, keeps rising/flattens after.
+    assert dram[0] < dram[1] < dram[2] <= dram[3] * 1.05
+    assert dram[-1] > dram[0]
+    # eDRAM: peaks mid-range, loses bandwidth at 100% hit rate.
+    peak = max(edram)
+    assert edram[-1] < peak * 0.9
+    assert peak > edram[0]

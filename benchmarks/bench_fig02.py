@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 2 (eDRAM 512 MB vs 256 MB)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig02_edram_capacity import run
+
+
+def test_fig02_edram_capacity(benchmark, core_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    print()
+    result.print()
+    speedups = [row[1] for row in result.rows if row[0] != "GMEAN"]
+    # Doubling capacity should not devastate performance anywhere.
+    assert all(ws > 0.8 for ws in speedups)

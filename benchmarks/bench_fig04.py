@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 4 (bandwidth sensitivity + L3 MPKI)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig04_bandwidth_sensitivity import run
+
+WORKLOADS = ["mcf", "soplex.ref", "milc", "parboil-histo"]
+
+
+def test_fig04_bandwidth_sensitivity(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=WORKLOADS)
+    print()
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    # Group shape: sensitive workloads gain more from the doubling.
+    sensitive = rows["GMEAN-sensitive"][2]
+    insensitive = rows["GMEAN-insensitive"][2]
+    assert sensitive > insensitive - 0.02
+    # MPKI ordering: sensitive workloads have higher L3 MPKI.
+    assert rows["mcf"][3] > rows["parboil-histo"][3]

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 5 (SRAM tag cache effect)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig05_tag_cache import run
+
+WORKLOADS = ["mcf", "omnetpp", "libquantum"]
+
+
+def test_fig05_tag_cache(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=WORKLOADS)
+    print()
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    # The tag cache helps on average.
+    assert rows["GMEAN"][1] > 1.0
+    # omnetpp's sparse pages thrash the tag cache harder than libquantum.
+    assert rows["omnetpp"][2] > rows["libquantum"][2]

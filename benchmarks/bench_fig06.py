@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 6 (DAP speedup + read-miss latency)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig06_dap_speedup import run
+
+
+def test_fig06_dap_speedup(benchmark, core_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    print()
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    # DAP wins on average and saves read latency.
+    assert rows["GMEAN"][1] > 1.0
+    latencies = [row[2] for name, row in rows.items() if name != "GMEAN"]
+    assert min(latencies) < 1.0

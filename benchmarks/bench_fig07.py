@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 7 (DAP decision mix)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig07_dap_decisions import run
+
+
+def test_fig07_dap_decisions(benchmark, core_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    print()
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    for name, row in rows.items():
+        assert sum(row[1:5]) == pytest.approx(1.0, abs=1e-6)
+    # omnetpp is SFRM-dominated (tag-cache thrash).
+    assert rows["omnetpp"][4] == max(rows["omnetpp"][1:5])

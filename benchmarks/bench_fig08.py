@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 8 (MM CAS fraction + hit rates)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig08_cas_fraction import run
+
+
+def test_fig08_cas_fraction(benchmark, core_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    print()
+    result.print()
+    mean = [row for row in result.rows if row[0] == "MEAN"][0]
+    mm_base, mm_dap = mean[1], mean[2]
+    hit_base, hit_fwbwb, hit_dap = mean[3], mean[4], mean[5]
+    # DAP moves the MM CAS fraction toward the 0.27 optimum.
+    assert mm_dap > mm_base
+    assert abs(mm_dap - 0.27) < abs(mm_base - 0.27)
+    # Hit rate is deliberately sacrificed as techniques are added.
+    assert hit_dap <= hit_base + 0.02

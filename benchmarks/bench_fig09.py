@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 9 (main-memory technology sensitivity)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig09_memory_technology import run
+
+
+def test_fig09_memory_technology(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=["mcf"])
+    print()
+    result.print()
+    gmean = [row for row in result.rows if row[0] == "GMEAN"][0]
+    default_ws, no_io_ws, lpddr_ws, ddr3200_ws = gmean[1:5]
+    # Faster main memory raises DAP's benefit; slower LPDDR4 lowers it.
+    assert ddr3200_ws >= lpddr_ws - 0.02

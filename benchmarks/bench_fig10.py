@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 10 (capacity and bandwidth sweeps)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig10_capacity_bandwidth import run
+
+
+def test_fig10_capacity_bandwidth(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=["mcf"])
+    print()
+    result.print()
+    gmean = [row for row in result.rows if row[0] == "GMEAN"][0]
+    cap2, cap4, cap8, bw102, bw128, bw204 = gmean[1:7]
+    # DAP's gain shrinks as the cache gets faster (the key trend).
+    assert bw204 <= bw102 + 0.03

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 11 (SBD / SBD-WT / BATMAN / DAP)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig11_related import run
+
+
+def test_fig11_related_proposals(benchmark, tiny_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=tiny_workloads)
+    print()
+    result.print()
+    gmean = [row for row in result.rows if row[0] == "GMEAN"][0]
+    sbd, sbd_wt, batman, dap = gmean[1:5]
+    # DAP beats every related proposal; SBD-WT beats SBD (no forced
+    # cleaning traffic).
+    assert dap >= max(sbd, sbd_wt, batman) - 0.02
+    assert sbd_wt >= sbd - 0.02

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 13 (16-core scaling)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig13_16core import run
+
+
+def test_fig13_sixteen_cores(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=["mcf"])
+    print()
+    result.print()
+    gmean = [row for row in result.rows if row[0] == "GMEAN"][0]
+    assert gmean[1] > 0.97  # DAP keeps helping (or staying neutral) at scale

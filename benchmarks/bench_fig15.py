@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 15 (DAP on the eDRAM cache)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.fig15_edram import run
+
+
+def test_fig15_edram(benchmark, tiny_workloads):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=tiny_workloads)
+    print()
+    result.print()
+    gmean = [row for row in result.rows if row[0] == "GMEAN"][0]
+    dap256, base512, dap512 = gmean[1], gmean[2], gmean[3]
+    # DAP at 512 MB beats the plain 512 MB capacity doubling.
+    assert dap512 >= base512 - 0.02

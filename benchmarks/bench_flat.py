@@ -1,0 +1,17 @@
+"""Benchmark: the OS-visible flat-memory extension (Eq. 3 at page level)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.ext_flat_memory import run
+
+
+def test_flat_memory_extension(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE)
+    print()
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    # The Eq. 3 interleave beats the hit-rate-maximizing first-touch.
+    assert rows["bandwidth-interleave"][1] > rows["first-touch"][1]
+    # Adaptive migration converges: steady state beats first-touch.
+    assert rows["adaptive"][2] > rows["first-touch"][2]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (W and E sensitivity)."""
+
+from conftest import run_once
+
+from repro.experiments.common import SMOKE
+from repro.experiments.table1_sensitivity import run
+
+
+def test_table1_sensitivity(benchmark):
+    result = run_once(benchmark, run, scale=SMOKE, workloads=["mcf"])
+    print()
+    result.print()
+    values = {(row[0], row[1]): row[2] for row in result.rows}
+    # Every parameter point still beats (or matches) the baseline region.
+    assert all(v > 0.9 for v in values.values())

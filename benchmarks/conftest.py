@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artifact at ``smoke`` scale (a
+representative workload subset) and prints the table it produced.
+``pytest benchmarks/ --benchmark-only`` therefore doubles as a quick
+reproduction pass; run ``repro-experiment all --scale small`` for the
+full-fidelity version.
+"""
+
+import pytest
+
+# Representative subsets used by most benchmarks: one IFRM-heavy
+# workload (mcf), the SFRM star (omnetpp), and a write-heavy FWB/WB
+# workload (gcc.expr).
+CORE_WORKLOADS = ["mcf", "omnetpp", "gcc.expr"]
+TINY_WORKLOADS = ["mcf", "gcc.expr"]
+
+
+@pytest.fixture
+def core_workloads():
+    return list(CORE_WORKLOADS)
+
+
+@pytest.fixture
+def tiny_workloads():
+    return list(TINY_WORKLOADS)
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

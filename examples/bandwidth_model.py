@@ -1,0 +1,55 @@
+"""Exploring the paper's analytical bandwidth model (Section III).
+
+No simulation — just the closed forms: Equation 2's delivered
+bandwidth, Equation 3's optimal partition, and the Fig. 1 curves that
+motivate sacrificing hit rate for bandwidth.
+"""
+
+from repro.core.bandwidth_model import (
+    analytic_dram_cache_read_bw,
+    analytic_edram_cache_read_bw,
+    delivered_bandwidth,
+    max_delivered_bandwidth,
+    optimal_fractions,
+    optimal_mm_cas_fraction,
+)
+
+
+def main() -> None:
+    # The paper's Section III example: M1 = 102.4 GB/s, M2 = 51.2 GB/s.
+    bandwidths = [102.4, 51.2]
+    print("Two sources, 102.4 and 51.2 GB/s (the paper's example):")
+    for f1, f2 in [(1.0, 0.0), (0.5, 0.5)]:
+        bw = delivered_bandwidth(bandwidths, [f1, f2])
+        print(f"  split ({f1:.2f}, {f2:.2f}) -> {bw:6.1f} GB/s")
+    optimal = optimal_fractions(bandwidths)
+    print(f"  optimal split ({optimal[0]:.2f}, {optimal[1]:.2f}) -> "
+          f"{delivered_bandwidth(bandwidths, optimal):6.1f} GB/s "
+          f"(= sum of bandwidths {max_delivered_bandwidth(bandwidths):.1f})")
+    print()
+
+    # The default platform's partitioning target (Fig. 8's dashed line).
+    print("Default platform (102.4 GB/s cache + 38.4 GB/s DDR4):")
+    print(f"  optimal main-memory CAS fraction = "
+          f"{optimal_mm_cas_fraction(102.4, 38.4):.3f}")
+    print(f"  maximum delivered bandwidth     = "
+          f"{max_delivered_bandwidth([102.4, 38.4]):.1f} GB/s")
+    print(f"  ... with 1.3x maintenance inflation: "
+          f"{max_delivered_bandwidth([102.4, 38.4], inflation=1.3):.1f} GB/s")
+    print()
+
+    # Fig. 1's closed forms: why 100% hit rate is NOT optimal.
+    print("Fig. 1 closed forms — delivered read bandwidth (GB/s):")
+    print(f"{'hit rate':>8s} {'DRAM$ (shared ch.)':>20s} {'eDRAM (split ch.)':>20s}")
+    for hit in (0.0, 0.25, 0.50, 0.625, 0.70, 0.90, 1.00):
+        dram = analytic_dram_cache_read_bw(hit, 102.4, 38.4)
+        edram = analytic_edram_cache_read_bw(hit, 51.2, 38.4)
+        print(f"{hit:8.0%} {dram:20.1f} {edram:20.1f}")
+    print()
+    peak_h = 51.2 / (51.2 + 38.4)
+    print(f"The eDRAM curve peaks at h = B_R/(B_R+B_MM) = {peak_h:.1%} and "
+          "*falls* beyond it: more hits can mean less bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

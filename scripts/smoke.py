@@ -1,0 +1,34 @@
+"""Developer smoke script: run small mixes on baseline and DAP."""
+
+import sys
+import time
+
+from repro.experiments.common import SMOKE, get_scale, run_mix, scaled_config
+from repro.workloads.mixes import rate_mix
+
+
+def run(policy, name="mcf", scale=SMOKE):
+    mix = rate_mix(name)
+    config = scaled_config(scale, policy=policy)
+    t0 = time.time()
+    result = run_mix(mix, config, scale)
+    wall = time.time() - t0
+    print(
+        f"{name:16s} {policy:10s} ipc={result.mean_ipc:.3f} "
+        f"cycles={result.cycles} mpki={result.mean_mpki:.1f} "
+        f"hit={result.served_hit_rate:.2f} mmfrac={result.mm_cas_fraction:.2f} "
+        f"lat={result.avg_read_latency:.0f} "
+        f"tagmiss={result.tag_cache_miss_rate and round(result.tag_cache_miss_rate, 2)} "
+        f"gbps={result.delivered_gbps:.1f} wall={wall:.1f}s dec={result.dap_decisions}"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    workloads = sys.argv[1:] or ["mcf", "libquantum", "omnetpp", "gcc.expr",
+                                 "parboil-lbm", "milc"]
+    scale = get_scale()
+    for wl in workloads:
+        base = run("baseline", wl, scale)
+        dap = run("dap", wl, scale)
+        print(f"  -> speedup {dap.mean_ipc / max(base.mean_ipc, 1e-9):.3f}")

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Near-Optimal Access Partitioning for Memory
+Hierarchies with Multiple Heterogeneous Bandwidth Sources" (HPCA 2017).
+
+Quickstart::
+
+    from repro import SystemConfig, build_system, collect_result
+    from repro.workloads import rate_mix
+
+    mix = rate_mix("mcf")
+    config = SystemConfig(policy="dap")
+    system = build_system(config, mix.traces(refs_per_core=20_000, scale=1/256))
+    system.run()
+    print(collect_result(system).mean_ipc)
+
+Subpackages:
+
+- :mod:`repro.core` — the DAP algorithm (bandwidth model, credit
+  counters, per-architecture solvers);
+- :mod:`repro.mem` — banked DRAM channel/device models;
+- :mod:`repro.cache` — SRAM, sectored, Alloy and eDRAM cache arrays;
+- :mod:`repro.policies` — baseline, DAP, SBD, BATMAN, BEAR steering;
+- :mod:`repro.hierarchy` — cores, SRAM hierarchy, MSC controllers,
+  system assembly;
+- :mod:`repro.workloads` — synthetic benchmark stand-ins and mixes;
+- :mod:`repro.metrics` — weighted speedup and run summaries;
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.hierarchy.system import System, SystemConfig, build_system
+from repro.metrics.stats import RunResult, collect_result
+from repro.metrics.speedup import (
+    geomean,
+    normalized_weighted_speedup,
+    weighted_speedup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "SystemConfig",
+    "build_system",
+    "RunResult",
+    "collect_result",
+    "weighted_speedup",
+    "normalized_weighted_speedup",
+    "geomean",
+    "__version__",
+]

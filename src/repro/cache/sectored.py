@@ -1,0 +1,267 @@
+"""Sectored (sub-blocked) cache array.
+
+Models the functional state of the paper's die-stacked sectored DRAM
+cache (4 KB sectors, 4-way, NRU) and the sectored eDRAM cache (1 KB
+sectors, 16-way). A sector is allocated as a unit but individual 64-byte
+blocks are fetched on demand, so each sector carries valid/dirty bitmasks.
+
+Supports BATMAN-style set disabling: a disabled set rejects lookups and
+fills; disabling returns the dirty blocks that must be flushed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.replacement import make_policy
+from repro.errors import ConfigError
+
+
+class SectorProbe(enum.Enum):
+    HIT = "hit"                    # sector present and block valid
+    BLOCK_MISS = "block_miss"      # sector present, block invalid
+    SECTOR_MISS = "sector_miss"    # sector absent
+
+
+class _Sector:
+    __slots__ = ("tag", "valid", "dirty", "touched", "stamp")
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag          # sector id
+        self.valid = 0          # bitmask of valid blocks
+        self.dirty = 0          # bitmask of dirty blocks
+        self.touched = 0        # bitmask of demand-touched blocks (footprint)
+        self.stamp = 0
+
+
+@dataclass
+class SectorEviction:
+    """Result of a sector allocation that displaced a victim."""
+
+    sector_id: int
+    dirty_lines: list[int] = field(default_factory=list)
+    valid_blocks: int = 0
+    touched_mask: int = 0
+
+
+class SectoredCacheArray:
+    """Functional sectored cache state, keyed by 64-byte line address."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        assoc: int,
+        sector_bytes: int,
+        line_bytes: int = 64,
+        policy: str = "nru",
+    ) -> None:
+        if sector_bytes % line_bytes != 0:
+            raise ConfigError(f"{name}: sector must be a multiple of the line size")
+        if capacity_bytes % (assoc * sector_bytes) != 0:
+            raise ConfigError(f"{name}: capacity not a multiple of assoc*sector")
+        self.name = name
+        self.assoc = assoc
+        self.blocks_per_sector = sector_bytes // line_bytes
+        self.num_sets = capacity_bytes // (assoc * sector_bytes)
+        self._sets: dict[int, list[_Sector]] = {}
+        self._policy = make_policy(policy)
+        self._disabled: set[int] = set()
+
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.sector_evictions = 0
+        self.sector_allocations = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def sector_of(self, line: int) -> int:
+        return line // self.blocks_per_sector
+
+    def block_of(self, line: int) -> int:
+        return line % self.blocks_per_sector
+
+    def _set_index(self, sector_id: int) -> int:
+        return sector_id % self.num_sets
+
+    def _find(self, sector_id: int) -> Optional[_Sector]:
+        ways = self._sets.get(self._set_index(sector_id))
+        if not ways:
+            return None
+        for sector in ways:
+            if sector.tag == sector_id:
+                return sector
+        return None
+
+    def _lines_of(self, sector: _Sector, mask: int) -> list[int]:
+        base = sector.tag * self.blocks_per_sector
+        return [base + b for b in range(self.blocks_per_sector) if mask & (1 << b)]
+
+    # ------------------------------------------------------------------
+    # Probes and accesses
+    # ------------------------------------------------------------------
+    def probe(self, line: int) -> SectorProbe:
+        """Classify an access without updating state or stats."""
+        sector_id = self.sector_of(line)
+        if self._set_index(sector_id) in self._disabled:
+            return SectorProbe.SECTOR_MISS
+        sector = self._find(sector_id)
+        if sector is None:
+            return SectorProbe.SECTOR_MISS
+        if sector.valid & (1 << self.block_of(line)):
+            return SectorProbe.HIT
+        return SectorProbe.BLOCK_MISS
+
+    def is_block_dirty(self, line: int) -> bool:
+        sector = self._find(self.sector_of(line))
+        return bool(sector and sector.dirty & (1 << self.block_of(line)))
+
+    def read(self, line: int) -> SectorProbe:
+        """Demand read: updates recency/footprint and hit/miss stats."""
+        result = self.probe(line)
+        sector = self._find(self.sector_of(line))
+        if sector is not None:
+            self._policy.on_access(sector)
+            sector.touched |= 1 << self.block_of(line)
+        if result is SectorProbe.HIT:
+            self.read_hits += 1
+        else:
+            self.read_misses += 1
+        return result
+
+    def write(self, line: int) -> SectorProbe:
+        """Demand write (dirty L3 eviction landing in this cache).
+
+        On a hit or block miss within a resident sector the block becomes
+        valid+dirty (a full 64-byte write needs no fill). On a sector miss
+        the caller decides whether to allocate.
+        """
+        result = self.probe(line)
+        sector = self._find(self.sector_of(line))
+        if sector is not None:
+            bit = 1 << self.block_of(line)
+            sector.valid |= bit
+            sector.dirty |= bit
+            sector.touched |= bit
+            self._policy.on_access(sector)
+        if result is SectorProbe.HIT:
+            self.write_hits += 1
+        else:
+            self.write_misses += 1
+        return result
+
+    def fill_block(self, line: int, dirty: bool = False) -> bool:
+        """Install a block into a resident sector (read-miss fill).
+
+        Returns False when the sector is absent (fill dropped — e.g. the
+        sector lost the allocation race or was bypassed).
+        """
+        sector = self._find(self.sector_of(line))
+        if sector is None:
+            return False
+        bit = 1 << self.block_of(line)
+        sector.valid |= bit
+        if dirty:
+            sector.dirty |= bit
+        return True
+
+    # ------------------------------------------------------------------
+    # Allocation / invalidation
+    # ------------------------------------------------------------------
+    def allocate_sector(self, line: int) -> Optional[SectorEviction]:
+        """Allocate the sector containing ``line``; returns the eviction.
+
+        No-op (returns None) if the sector is already resident or its set
+        is disabled.
+        """
+        sector_id = self.sector_of(line)
+        idx = self._set_index(sector_id)
+        if idx in self._disabled:
+            return None
+        ways = self._sets.setdefault(idx, [])
+        if any(s.tag == sector_id for s in ways):
+            return None
+        eviction: Optional[SectorEviction] = None
+        if len(ways) >= self.assoc:
+            vidx = self._policy.select_victim(ways)
+            victim = ways[vidx]
+            eviction = SectorEviction(
+                sector_id=victim.tag,
+                dirty_lines=self._lines_of(victim, victim.dirty),
+                valid_blocks=bin(victim.valid).count("1"),
+                touched_mask=victim.touched,
+            )
+            del ways[vidx]
+            self.sector_evictions += 1
+        sector = _Sector(sector_id)
+        self._policy.on_fill(sector)
+        ways.append(sector)
+        self.sector_allocations += 1
+        return eviction
+
+    def invalidate_block(self, line: int) -> bool:
+        """Invalidate a single block; returns whether it was dirty."""
+        sector = self._find(self.sector_of(line))
+        if sector is None:
+            return False
+        bit = 1 << self.block_of(line)
+        was_dirty = bool(sector.dirty & bit)
+        sector.valid &= ~bit
+        sector.dirty &= ~bit
+        return was_dirty
+
+    def clean_block(self, line: int) -> None:
+        """Clear the dirty bit of a block (after write-through)."""
+        sector = self._find(self.sector_of(line))
+        if sector is not None:
+            sector.dirty &= ~(1 << self.block_of(line))
+
+    # ------------------------------------------------------------------
+    # Set disabling (BATMAN substrate)
+    # ------------------------------------------------------------------
+    def disable_set(self, set_index: int) -> list[int]:
+        """Disable a set, returning dirty lines that must be flushed."""
+        if set_index in self._disabled:
+            return []
+        self._disabled.add(set_index)
+        dirty: list[int] = []
+        for sector in self._sets.pop(set_index, []):
+            dirty.extend(self._lines_of(sector, sector.dirty))
+        return dirty
+
+    def enable_set(self, set_index: int) -> None:
+        self._disabled.discard(set_index)
+
+    @property
+    def disabled_sets(self) -> int:
+        return len(self._disabled)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def writes(self) -> int:
+        return self.write_hits + self.write_misses
+
+    def hit_rate(self) -> float:
+        """Combined read+write hit rate (the paper's Fig. 8 metric)."""
+        total = self.reads + self.writes
+        return (self.read_hits + self.write_hits) / total if total else 0.0
+
+    def read_hit_rate(self) -> float:
+        return self.read_hits / self.reads if self.reads else 0.0
+
+    def sector_present(self, line: int) -> bool:
+        return self._find(self.sector_of(line)) is not None
+
+    def resident_sectors(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())

@@ -1,0 +1,179 @@
+"""Generic set-associative SRAM cache (functional model).
+
+Used for the L1/L2/L3 hierarchy and, via thin wrappers, for SRAM metadata
+structures (tag cache, DBC). Sets are allocated lazily so multi-gigabyte
+address spaces cost memory proportional to the touched footprint only.
+
+The model is *functional*: it tracks presence, dirtiness and recency.
+Latency and bandwidth accounting belong to the hierarchy layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.replacement import make_policy
+from repro.errors import ConfigError
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "stamp")
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.stamp = 0
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim pushed out by a fill."""
+
+    line: int      # 64-byte line address of the victim
+    dirty: bool
+
+
+class SRAMCache:
+    """Set-associative cache keyed by 64-byte line address.
+
+    Parameters
+    ----------
+    name:
+        Used in stats output.
+    size_bytes / assoc / line_bytes:
+        Geometry; ``size_bytes`` must be an exact multiple of
+        ``assoc * line_bytes``.
+    policy:
+        'lru' (SRAM hierarchy) or 'nru'.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+        policy: str = "lru",
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigError(f"bad cache geometry for {name}")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ConfigError(
+                f"{name}: size {size_bytes} not a multiple of assoc*line "
+                f"({assoc}x{line_bytes})"
+            )
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self._sets: dict[int, list[_Line]] = {}
+        self._policy = make_policy(policy)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _find(self, ways: list[_Line], tag: int) -> Optional[_Line]:
+        for way in ways:
+            if way.tag == tag:
+                return way
+        return None
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, is_write: bool = False) -> bool:
+        """Access a line; returns True on hit, updating recency/dirty."""
+        ways = self._sets.get(self._set_index(line))
+        entry = self._find(ways, line) if ways else None
+        if entry is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        self._policy.on_access(entry)
+        if is_write:
+            entry.dirty = True
+        return True
+
+    def probe(self, line: int) -> bool:
+        """Presence check with no stats or recency side effects."""
+        ways = self._sets.get(self._set_index(line))
+        return bool(ways) and self._find(ways, line) is not None
+
+    def is_dirty(self, line: int) -> Optional[bool]:
+        """Dirty state of a resident line, or None if absent."""
+        ways = self._sets.get(self._set_index(line))
+        entry = self._find(ways, line) if ways else None
+        return None if entry is None else entry.dirty
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[Eviction]:
+        """Insert a line, returning the eviction it caused (if any).
+
+        Filling a line already present just refreshes it (merging dirty).
+        """
+        idx = self._set_index(line)
+        ways = self._sets.setdefault(idx, [])
+        entry = self._find(ways, line)
+        if entry is not None:
+            entry.dirty = entry.dirty or dirty
+            self._policy.on_fill(entry)
+            return None
+        victim: Optional[Eviction] = None
+        if len(ways) >= self.assoc:
+            vidx = self._policy.select_victim(ways)
+            old = ways[vidx]
+            victim = Eviction(line=old.tag, dirty=old.dirty)
+            del ways[vidx]
+            self.evictions += 1
+        entry = _Line(line)
+        entry.dirty = dirty
+        self._policy.on_fill(entry)
+        ways.append(entry)
+        return victim
+
+    def invalidate(self, line: int) -> Optional[bool]:
+        """Remove a line; returns its dirty bit, or None if absent."""
+        idx = self._set_index(line)
+        ways = self._sets.get(idx)
+        if not ways:
+            return None
+        for i, way in enumerate(ways):
+            if way.tag == line:
+                dirty = way.dirty
+                del ways[i]
+                return dirty
+        return None
+
+    def mark_dirty(self, line: int) -> bool:
+        """Set the dirty bit of a resident line; False if absent."""
+        ways = self._sets.get(self._set_index(line))
+        entry = self._find(ways, line) if ways else None
+        if entry is None:
+            return False
+        entry.dirty = True
+        return True
+
+    def clean(self, line: int) -> bool:
+        """Clear the dirty bit of a resident line; False if absent."""
+        ways = self._sets.get(self._set_index(line))
+        entry = self._find(ways, line) if ways else None
+        if entry is None:
+            return False
+        entry.dirty = False
+        return True
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())

@@ -1,0 +1,75 @@
+"""SRAM tag cache for sectored DRAM caches (optimized baseline, Fig. 5).
+
+The sectored DRAM cache keeps sector metadata in the DRAM array itself;
+the tag cache is a 32K-entry 4-way SRAM structure that caches that
+metadata so most lookups avoid an in-DRAM metadata read. Entries are
+keyed by sector id. An entry whose cached metadata has been modified
+(fills, writes, invalidations) is *dirty* and must be written back to the
+DRAM array when evicted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.sram_cache import SRAMCache
+
+TAG_CACHE_ENTRIES = 32 * 1024
+TAG_CACHE_ASSOC = 4
+TAG_CACHE_LOOKUP_CYCLES = 5  # paper: non-overlapped part of the lookup
+
+
+class TagCache:
+    """Caches sector metadata entries; misses cost an in-DRAM META_READ."""
+
+    def __init__(
+        self,
+        entries: int = TAG_CACHE_ENTRIES,
+        assoc: int = TAG_CACHE_ASSOC,
+        lookup_cycles: int = TAG_CACHE_LOOKUP_CYCLES,
+    ) -> None:
+        # SRAMCache with 1-byte "lines" so keys are raw sector ids.
+        self._cache = SRAMCache(
+            "tag-cache", size_bytes=entries, assoc=assoc, line_bytes=1, policy="lru"
+        )
+        self.lookup_cycles = lookup_cycles
+
+    def lookup(self, sector_id: int) -> bool:
+        """True when the sector's metadata is cached (no DRAM tag read)."""
+        return self._cache.lookup(sector_id)
+
+    def fill(self, sector_id: int) -> Optional[bool]:
+        """Install metadata after a DRAM fetch.
+
+        Returns the dirty bit of the evicted entry (a metadata write back
+        to the DRAM array is required when True), or None if nothing was
+        evicted.
+        """
+        eviction = self._cache.fill(sector_id)
+        return None if eviction is None else eviction.dirty
+
+    def mark_dirty(self, sector_id: int) -> None:
+        """Record that the cached metadata diverged from the DRAM copy."""
+        self._cache.mark_dirty(sector_id)
+
+    def invalidate(self, sector_id: int) -> Optional[bool]:
+        """Drop a sector's metadata (e.g. the sector was evicted)."""
+        return self._cache.invalidate(sector_id)
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def accesses(self) -> int:
+        return self._cache.accesses
+
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate()
+
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate() if self.accesses else 0.0

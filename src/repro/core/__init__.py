@@ -1,0 +1,48 @@
+"""DAP — Dynamic Access Partitioning (the paper's contribution).
+
+- :mod:`repro.core.bandwidth_model` — the analytical model of Section III
+  (Equations 1-4): delivered bandwidth of multiple sources, the optimal
+  access partition, and closed-form curves for Fig. 1.
+- :mod:`repro.core.credits` — saturating credit counters (the ~16 bytes
+  of hardware), with division-free (K+1)-scaled arithmetic.
+- :mod:`repro.core.window` — per-window demand observation.
+- :mod:`repro.core.dap_sectored` — the Fig. 3 algorithm for sectored
+  DRAM caches (FWB, WB, IFRM, SFRM).
+- :mod:`repro.core.dap_alloy` — the Alloy cache variant (IFRM via the
+  dirty-bit cache + opportunistic write-through).
+- :mod:`repro.core.dap_edram` — the three-source eDRAM variant
+  (Equations 9-12).
+"""
+
+from repro.core.bandwidth_model import (
+    delivered_bandwidth,
+    max_delivered_bandwidth,
+    optimal_fractions,
+    optimal_mm_cas_fraction,
+    analytic_dram_cache_read_bw,
+    analytic_edram_cache_read_bw,
+)
+from repro.core.credits import CreditCounter, approximate_k
+from repro.core.window import WindowStats, EdramWindowStats
+from repro.core.dap_sectored import DapSectored, SectoredTargets
+from repro.core.dap_alloy import DapAlloy, AlloyTargets
+from repro.core.dap_edram import DapEdram, EdramTargets
+
+__all__ = [
+    "delivered_bandwidth",
+    "max_delivered_bandwidth",
+    "optimal_fractions",
+    "optimal_mm_cas_fraction",
+    "analytic_dram_cache_read_bw",
+    "analytic_edram_cache_read_bw",
+    "CreditCounter",
+    "approximate_k",
+    "WindowStats",
+    "EdramWindowStats",
+    "DapSectored",
+    "SectoredTargets",
+    "DapAlloy",
+    "AlloyTargets",
+    "DapEdram",
+    "EdramTargets",
+]

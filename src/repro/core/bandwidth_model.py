@@ -1,0 +1,116 @@
+"""The paper's analytical bandwidth model (Section III).
+
+For ``n`` non-blocking parallel bandwidth sources with bandwidths ``B_i``
+and work fractions ``f_i`` (``sum f_i = 1``), the delivered bandwidth is
+
+    B = 1 / max(f_1/B_1, ..., f_n/B_n) = min(B_1/f_1, ..., B_n/f_n)   (Eq. 2)
+
+which is maximized, at ``sum(B_i)``, exactly when the work is divided in
+proportion to the bandwidths:
+
+    f_i* = B_i / sum(B_j)                                              (Eq. 3)
+    B_1/f_1 = B_2/f_2 = ... = B_n/f_n                                  (Eq. 4)
+
+With an access-volume inflation factor ``C >= 1`` (maintenance traffic),
+the maximum delivered bandwidth drops to ``sum(B_i) / C``.
+
+This module also provides the closed-form read-bandwidth curves behind
+Fig. 1 so the simulation can be validated against the analytical shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def _check_bandwidths(bandwidths: Sequence[float]) -> None:
+    if not bandwidths:
+        raise ConfigError("need at least one bandwidth source")
+    if any(b <= 0 for b in bandwidths):
+        raise ConfigError(f"bandwidths must be positive, got {list(bandwidths)}")
+
+
+def delivered_bandwidth(bandwidths: Sequence[float], fractions: Sequence[float]) -> float:
+    """Equation 2: ``min(B_i / f_i)`` for the given access partition.
+
+    A source with ``f_i == 0`` does not constrain delivery. Fractions must
+    be non-negative and sum to ~1.
+    """
+    _check_bandwidths(bandwidths)
+    if len(fractions) != len(bandwidths):
+        raise ConfigError("fractions and bandwidths must have equal length")
+    if any(f < 0 for f in fractions):
+        raise ConfigError(f"fractions must be non-negative, got {list(fractions)}")
+    total = sum(fractions)
+    if abs(total - 1.0) > 1e-9:
+        raise ConfigError(f"fractions must sum to 1, got {total}")
+    constrained = [b / f for b, f in zip(bandwidths, fractions) if f > 0]
+    return min(constrained)
+
+
+def optimal_fractions(bandwidths: Sequence[float]) -> list[float]:
+    """Equation 3's maximizer: ``f_i = B_i / sum(B_j)``."""
+    _check_bandwidths(bandwidths)
+    total = sum(bandwidths)
+    return [b / total for b in bandwidths]
+
+
+def max_delivered_bandwidth(bandwidths: Sequence[float], inflation: float = 1.0) -> float:
+    """``sum(B_i) / C`` — the ceiling with maintenance inflation ``C``."""
+    _check_bandwidths(bandwidths)
+    if inflation < 1.0:
+        raise ConfigError(f"inflation factor C must be >= 1, got {inflation}")
+    return sum(bandwidths) / inflation
+
+
+def optimal_mm_cas_fraction(b_cache: float, b_mm: float) -> float:
+    """Fraction of CAS operations main memory should serve at the optimum.
+
+    For the paper's default platform (102.4 GB/s cache, 38.4 GB/s DDR)
+    this is 38.4/140.8 ≈ 0.27 — the reference line in Fig. 8.
+    """
+    _check_bandwidths([b_cache, b_mm])
+    return b_mm / (b_cache + b_mm)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 closed forms (read-only streaming kernel, no metadata traffic)
+# ----------------------------------------------------------------------
+
+def analytic_dram_cache_read_bw(hit_rate: float, b_cache: float, b_mm: float) -> float:
+    """Delivered read bandwidth for a shared-channel DRAM cache (Fig. 1).
+
+    Every demand read costs one cache CAS (a hit reads the cache; a miss
+    reads main memory *and* spends a cache CAS on the fill), so the cache
+    constrains throughput to ``b_cache`` while main memory constrains it
+    to ``b_mm / (1 - h)``.
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ConfigError(f"hit rate must be in [0, 1], got {hit_rate}")
+    _check_bandwidths([b_cache, b_mm])
+    if hit_rate >= 1.0:
+        return b_cache
+    return min(b_cache, b_mm / (1.0 - hit_rate))
+
+
+def analytic_edram_cache_read_bw(
+    hit_rate: float, b_read: float, b_mm: float
+) -> float:
+    """Delivered read bandwidth for separate-channel eDRAM (Fig. 1).
+
+    Fills ride the independent write channels, so reads see
+    ``min(b_read / h, b_mm / (1 - h))`` — a curve that *peaks* at
+    ``h = b_read / (b_read + b_mm)`` and falls back to ``b_read`` at 100%
+    hit rate: the paper's motivating observation that raising the hit
+    rate can lose bandwidth.
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ConfigError(f"hit rate must be in [0, 1], got {hit_rate}")
+    _check_bandwidths([b_read, b_mm])
+    if hit_rate == 0.0:
+        return b_mm
+    if hit_rate == 1.0:
+        return b_read
+    return min(b_read / hit_rate, b_mm / (1.0 - hit_rate))

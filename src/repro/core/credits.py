@@ -1,0 +1,81 @@
+"""Saturating credit counters — DAP's ~16 bytes of hardware state.
+
+The paper stores ``(K+1) * N_WB`` instead of ``N_WB`` so the per-window
+solve needs no divider: each applied write bypass simply decrements the
+counter by ``K+1``. K itself (the cache/memory bandwidth ratio) is
+approximated by a small rational so the multiply is cheap in hardware —
+8/3 becomes 11/4 for the default platform.
+
+We mirror that arithmetic exactly: a :class:`CreditCounter` keeps an
+integer value in units of ``1/denominator`` and saturates at the width
+the paper budgets (eight bits of whole units).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ConfigError
+
+
+def approximate_k(b_cache: float, b_mm: float, denominator: int = 4) -> Fraction:
+    """Hardware-friendly approximation of K = B_MS$ / B_MM.
+
+    Rounds K to the nearest multiple of ``1/denominator`` (the paper uses
+    quarters: 8/3 -> 11/4).
+    """
+    if b_cache <= 0 or b_mm <= 0:
+        raise ConfigError("bandwidths must be positive")
+    if denominator <= 0:
+        raise ConfigError("denominator must be positive")
+    return Fraction(round(b_cache / b_mm * denominator), denominator)
+
+
+class CreditCounter:
+    """Saturating counter holding values in units of ``1/denominator``.
+
+    ``load`` installs a window's budget (clamped to [0, max]); ``take``
+    spends one application's cost if any credit remains. The paper lets a
+    technique fire while its counter is non-zero, so ``take`` succeeds on
+    any positive value and floors at zero.
+    """
+
+    def __init__(self, bits: int = 8, denominator: int = 1) -> None:
+        if bits <= 0 or denominator <= 0:
+            raise ConfigError("bits and denominator must be positive")
+        self.denominator = denominator
+        self._max = ((1 << bits) - 1) * denominator
+        self._value = 0
+
+    # ------------------------------------------------------------------
+    def load(self, amount: Fraction | int | float) -> None:
+        """Set the counter to ``amount`` (whole units), saturating."""
+        scaled = int(amount * self.denominator)
+        self._value = max(0, min(self._max, scaled))
+
+    def take(self, cost: Fraction | int = 1) -> bool:
+        """Spend ``cost`` whole units; True if any credit was available."""
+        if self._value <= 0:
+            return False
+        self._value = max(0, self._value - int(cost * self.denominator))
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """Current credit in whole units."""
+        return self._value / self.denominator
+
+    @property
+    def raw(self) -> int:
+        return self._value
+
+    @property
+    def max_value(self) -> float:
+        return self._max / self.denominator
+
+    def __bool__(self) -> bool:
+        return self._value > 0
+
+    def __repr__(self) -> str:
+        return f"CreditCounter(value={self.value}, max={self.max_value})"

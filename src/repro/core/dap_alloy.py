@@ -1,0 +1,142 @@
+"""DAP for the Alloy cache (Section IV-B).
+
+The Alloy cache fuses tag and data (TAD), which constrains DAP:
+
+- write bypass on hits would still cost Alloy bandwidth to invalidate
+  the line, and fill bypass needs the TAD to know whether a fill is due,
+  so neither is a standalone technique;
+- **IFRM** works without touching the TAD when the dirty-bit cache (DBC)
+  says the accessed set is clean — and if the line turns out to be
+  absent, the skipped fill doubles as a fill bypass;
+- to keep clean blocks available for IFRM, spare main-memory bandwidth
+  is spent on opportunistic **write-through** of Alloy writes
+  (``0.8 * (B_MM*W - A_MM)`` per window).
+
+The effective Alloy bandwidth already reflects the TAD bloat: a 72-byte
+TAD moves in 3 HBM channel cycles of which only 2 carry data, so
+``B_MS$ = (2/3) * peak``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.credits import CreditCounter, approximate_k
+from repro.core.dap_sectored import DEFAULT_EFFICIENCY, DEFAULT_WINDOW, SFRM_HEADROOM
+from repro.core.window import WindowStats
+from repro.errors import ConfigError
+
+TAD_DATA_FRACTION = 2.0 / 3.0
+
+
+@dataclass(frozen=True)
+class AlloyTargets:
+    """Per-window budgets for the Alloy variant."""
+
+    n_ifrm: float
+    n_wt: float
+
+    @property
+    def partitioning_active(self) -> bool:
+        return self.n_ifrm > 0
+
+
+def solve_alloy(
+    stats: WindowStats, bms_w: float, bmm_w: float, k: Fraction
+) -> AlloyTargets:
+    """Per-window solve: Eq. 8 for IFRM plus the write-through budget."""
+    ams, amm = stats.a_ms, stats.a_mm
+    kf = float(k)
+    n_ifrm = 0.0
+    if ams > bms_w:
+        ifrm_scaled = ams - kf * amm  # (K+1) * N_IFRM
+        n_ifrm = max(0.0, ifrm_scaled / (1.0 + kf))
+        n_ifrm = min(n_ifrm, float(stats.clean_hits))
+    n_wt = max(0.0, SFRM_HEADROOM * (bmm_w - amm - n_ifrm))
+    return AlloyTargets(n_ifrm=n_ifrm, n_wt=n_wt)
+
+
+class DapAlloy:
+    """Window-driven DAP state for the Alloy cache.
+
+    ``b_ms`` is the raw HBM bandwidth in accesses/cycle; the TAD data
+    fraction is applied internally.
+    """
+
+    def __init__(
+        self,
+        b_ms: float,
+        b_mm: float,
+        window: int = DEFAULT_WINDOW,
+        efficiency: float = DEFAULT_EFFICIENCY,
+        k_denominator: int = 4,
+    ) -> None:
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        self.window = window
+        self.b_ms_eff = b_ms * TAD_DATA_FRACTION * efficiency
+        self.b_mm_eff = b_mm * efficiency
+        self.bms_w = self.b_ms_eff * window
+        self.bmm_w = self.b_mm_eff * window
+        self.k = approximate_k(self.b_ms_eff, self.b_mm_eff, k_denominator)
+
+        kd = self.k.denominator
+        self._ifrm = CreditCounter(bits=8, denominator=kd)
+        self._wt = CreditCounter(bits=8)
+        self._cost = self.k + 1
+        self.stats = WindowStats()
+        self._window_index = 0
+        self.last_targets = AlloyTargets(0, 0)
+        self.decisions = {"ifrm": 0, "wt": 0, "fill_bypass": 0}
+        self.windows_partitioned = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        widx = now // self.window
+        if widx == self._window_index:
+            return
+        stats = self.stats if widx == self._window_index + 1 else WindowStats()
+        targets = solve_alloy(stats, self.bms_w, self.bmm_w, self.k)
+        self.last_targets = targets
+        self._ifrm.load(targets.n_ifrm * float(self._cost))
+        self._wt.load(targets.n_wt)
+        if targets.partitioning_active:
+            self.windows_partitioned += 1
+        self.stats.reset()
+        self._window_index = widx
+
+    # ------------------------------------------------------------------
+    def allow_forced_miss(self, now: int) -> bool:
+        self.tick(now)
+        if self._ifrm.take(self._cost):
+            self.decisions["ifrm"] += 1
+            return True
+        return False
+
+    def allow_write_through(self, now: int) -> bool:
+        self.tick(now)
+        if self._wt.take():
+            self.decisions["wt"] += 1
+            return True
+        return False
+
+    def note_fill_bypass(self) -> None:
+        """An IFRM line turned out absent — its fill was skipped too."""
+        self.decisions["fill_bypass"] += 1
+
+    # ------------------------------------------------------------------
+    def note_ms_access(self, count: int = 1) -> None:
+        self.stats.note_ms_access(count)
+
+    def note_mm_access(self, count: int = 1) -> None:
+        self.stats.note_mm_access(count)
+
+    def note_read_miss(self) -> None:
+        self.stats.note_read_miss()
+
+    def note_write(self) -> None:
+        self.stats.note_write()
+
+    def note_clean_hit(self) -> None:
+        self.stats.note_clean_hit()

@@ -1,0 +1,164 @@
+"""DAP for sectored eDRAM caches (Section IV-C).
+
+The eDRAM cache exposes *three* bandwidth sources beyond the SRAM
+hierarchy: independent read channels (B_MS$-R), independent write
+channels (B_MS$-W), and main memory (B_MM). Tags are on die, so SFRM is
+unnecessary; the remaining techniques are chosen by which channel set is
+oversubscribed:
+
+(i)   read shortage only  -> IFRM via Eq. 9:
+      ``(K+1) * N_IFRM = A_MS$-R - K * A_MM``
+(ii)  write shortage only -> FWB via Eq. 10 then WB via Eq. 11:
+      ``N_FWB = A_MS$-W - K * A_MM``
+      ``(K+1) * N_WB = (A_MS$-W - N_FWB) - K * A_MM``
+(iii) both                -> FWB via Eq. 10, then the simultaneous solve
+      of Eq. 12:
+      ``(2K+1) * N_WB   = (K+1)(A_MS$-W - N_FWB) - K*A_MS$-R - K*A_MM``
+      ``(2K+1) * N_IFRM = (K+1)A_MS$-R - K(A_MS$-W - N_FWB) - K*A_MM``
+
+The paper assumes ``B_MS$-R = B_MS$-W = B_MS$`` and
+``K = B_MS$ / B_MM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.credits import CreditCounter, approximate_k
+from repro.core.dap_sectored import DEFAULT_EFFICIENCY, DEFAULT_WINDOW
+from repro.core.window import EdramWindowStats
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EdramTargets:
+    n_fwb: float
+    n_wb: float
+    n_ifrm: float
+
+    @property
+    def partitioning_active(self) -> bool:
+        return self.n_fwb > 0 or self.n_wb > 0 or self.n_ifrm > 0
+
+
+def solve_edram(
+    stats: EdramWindowStats, bms_w: float, bmm_w: float, k: Fraction
+) -> EdramTargets:
+    """Per-window solve across the paper's three scenarios."""
+    ar, aw, amm = stats.a_ms_read, stats.a_ms_write, stats.a_mm
+    rm, wm, clean_hits = stats.read_misses, stats.writes, stats.clean_hits
+    kf = float(k)
+    read_short = ar > bms_w
+    write_short = aw > bms_w
+
+    n_fwb = n_wb = n_ifrm = 0.0
+    if read_short and not write_short:
+        # (i) Eq. 9.
+        n_ifrm = max(0.0, (ar - kf * amm) / (1.0 + kf))
+    elif write_short and not read_short:
+        # (ii) Eq. 10 then Eq. 11.
+        n_fwb = max(0.0, aw - kf * amm)
+        n_fwb = min(n_fwb, float(rm), aw - bms_w)
+        n_wb = max(0.0, ((aw - n_fwb) - kf * amm) / (1.0 + kf))
+    elif read_short and write_short:
+        # (iii) Eq. 10 then the simultaneous Eq. 12.
+        n_fwb = max(0.0, aw - kf * amm)
+        n_fwb = min(n_fwb, float(rm))
+        denom = 2.0 * kf + 1.0
+        n_wb = max(0.0, ((1.0 + kf) * (aw - n_fwb) - kf * ar - kf * amm) / denom)
+        n_ifrm = max(0.0, ((1.0 + kf) * ar - kf * (aw - n_fwb) - kf * amm) / denom)
+
+    n_wb = min(n_wb, float(wm))
+    n_ifrm = min(n_ifrm, float(clean_hits))
+    return EdramTargets(n_fwb=n_fwb, n_wb=n_wb, n_ifrm=n_ifrm)
+
+
+class DapEdram:
+    """Window-driven DAP state for the three-source eDRAM system."""
+
+    def __init__(
+        self,
+        b_ms: float,
+        b_mm: float,
+        window: int = DEFAULT_WINDOW,
+        efficiency: float = DEFAULT_EFFICIENCY,
+        k_denominator: int = 4,
+    ) -> None:
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        self.window = window
+        self.b_ms_eff = b_ms * efficiency
+        self.b_mm_eff = b_mm * efficiency
+        self.bms_w = self.b_ms_eff * window
+        self.bmm_w = self.b_mm_eff * window
+        self.k = approximate_k(self.b_ms_eff, self.b_mm_eff, k_denominator)
+
+        kd = self.k.denominator
+        self._fwb = CreditCounter(bits=8)
+        self._wb = CreditCounter(bits=8, denominator=kd)
+        self._ifrm = CreditCounter(bits=8, denominator=kd)
+        self._cost = self.k + 1
+        self.stats = EdramWindowStats()
+        self._window_index = 0
+        self.last_targets = EdramTargets(0, 0, 0)
+        self.decisions = {"fwb": 0, "wb": 0, "ifrm": 0}
+        self.windows_partitioned = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        widx = now // self.window
+        if widx == self._window_index:
+            return
+        stats = self.stats if widx == self._window_index + 1 else EdramWindowStats()
+        targets = solve_edram(stats, self.bms_w, self.bmm_w, self.k)
+        self.last_targets = targets
+        cost = float(self._cost)
+        self._fwb.load(targets.n_fwb)
+        self._wb.load(targets.n_wb * cost)
+        self._ifrm.load(targets.n_ifrm * cost)
+        if targets.partitioning_active:
+            self.windows_partitioned += 1
+        self.stats.reset()
+        self._window_index = widx
+
+    # ------------------------------------------------------------------
+    def allow_fill_bypass(self, now: int) -> bool:
+        self.tick(now)
+        if self._fwb.take():
+            self.decisions["fwb"] += 1
+            return True
+        return False
+
+    def allow_write_bypass(self, now: int) -> bool:
+        self.tick(now)
+        if self._wb.take(self._cost):
+            self.decisions["wb"] += 1
+            return True
+        return False
+
+    def allow_forced_miss(self, now: int) -> bool:
+        self.tick(now)
+        if self._ifrm.take(self._cost):
+            self.decisions["ifrm"] += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def note_ms_read(self, count: int = 1) -> None:
+        self.stats.note_ms_read(count)
+
+    def note_ms_write(self, count: int = 1) -> None:
+        self.stats.note_ms_write(count)
+
+    def note_mm_access(self, count: int = 1) -> None:
+        self.stats.note_mm_access(count)
+
+    def note_read_miss(self) -> None:
+        self.stats.note_read_miss()
+
+    def note_write(self) -> None:
+        self.stats.note_write()
+
+    def note_clean_hit(self) -> None:
+        self.stats.note_clean_hit()

@@ -1,0 +1,228 @@
+"""DAP for sectored DRAM caches — the Fig. 3 algorithm.
+
+At each window boundary the solver turns last window's observed demand
+(``A_MS$``, ``A_MM``, R_m, W_m, clean hits) into technique budgets:
+
+1. **FWB** — ``N_FWB = A_MS$ - K * A_MM`` (Eq. 6), capped by the needed
+   partitioning ``A_MS$ - B_MS$*W`` and by the available fills R_m;
+2. **WB** — if fills ran out, ``(K+1) * N_WB = A_MS$ - K*A_MM - R_m``
+   (Eq. 7), capped at W_m;
+3. **IFRM** — if writes ran out too,
+   ``(K+1) * N_IFRM = A_MS$ - K*(A_MM + W_m) - R_m - W_m`` (Eq. 8),
+   capped by the observed clean hits;
+4. **SFRM** — ``N_SFRM = 0.8 * (B_MM*W - A_MM - N_WB - N_IFRM)``,
+   leaving 20% of main-memory headroom for bandwidth emergencies.
+
+Budgets are loaded into saturating credit counters; during the next
+window each technique fires while its counter is non-zero. The WB and
+IFRM counters store the (K+1)-scaled value so no divider is needed —
+each application costs ``K+1`` credits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.credits import CreditCounter, approximate_k
+from repro.core.window import WindowStats
+from repro.errors import ConfigError
+
+DEFAULT_WINDOW = 64
+DEFAULT_EFFICIENCY = 0.75
+SFRM_HEADROOM = 0.8
+
+
+@dataclass(frozen=True)
+class SectoredTargets:
+    """Per-window technique budgets (in accesses)."""
+
+    n_fwb: float
+    n_wb: float
+    n_ifrm: float
+    n_sfrm: float
+
+    @property
+    def partitioning_active(self) -> bool:
+        return self.n_fwb > 0 or self.n_wb > 0 or self.n_ifrm > 0
+
+
+def solve_sectored(
+    stats: WindowStats, bms_w: float, bmm_w: float, k: Fraction
+) -> SectoredTargets:
+    """Pure per-window solve of the Fig. 3 flowchart."""
+    ams, amm = stats.a_ms, stats.a_mm
+    rm, wm, clean_hits = stats.read_misses, stats.writes, stats.clean_hits
+    kf = float(k)
+
+    n_fwb = n_wb = n_ifrm = 0.0
+    if ams > bms_w:
+        n_fwb = ams - kf * amm
+        if n_fwb <= 0:
+            # Main memory is the bottleneck: exit partitioning.
+            n_fwb = 0.0
+        else:
+            # Never bypass more than the demand overflow, nor more fills
+            # than actually exist.
+            n_fwb = min(n_fwb, ams - bms_w)
+            if n_fwb > rm:
+                n_fwb = float(rm)
+                wb_scaled = ams - kf * amm - rm          # (K+1) * N_WB
+                n_wb = max(0.0, wb_scaled / (1.0 + kf))
+                if n_wb > wm:
+                    n_wb = float(wm)
+                    ifrm_scaled = ams - kf * (amm + wm) - rm - wm
+                    n_ifrm = max(0.0, ifrm_scaled / (1.0 + kf))
+                    n_ifrm = min(n_ifrm, float(clean_hits))
+
+    n_sfrm = max(0.0, SFRM_HEADROOM * (bmm_w - amm - n_wb - n_ifrm))
+    return SectoredTargets(n_fwb=n_fwb, n_wb=n_wb, n_ifrm=n_ifrm, n_sfrm=n_sfrm)
+
+
+class DapSectored:
+    """Window-driven DAP controller state for sectored DRAM caches.
+
+    Parameters
+    ----------
+    b_ms, b_mm:
+        Peak bandwidths of the memory-side cache and main memory in
+        64-byte accesses per CPU cycle.
+    window:
+        Window length W in CPU cycles (paper default 64).
+    efficiency:
+        Assumed bandwidth efficiency E of both sources (paper default
+        0.75); effective bandwidth is ``E * peak``.
+    enable_sfrm:
+        SFRM only applies to architectures whose metadata lives in the
+        DRAM array (it hides tag-fetch latency).
+    """
+
+    def __init__(
+        self,
+        b_ms: float,
+        b_mm: float,
+        window: int = DEFAULT_WINDOW,
+        efficiency: float = DEFAULT_EFFICIENCY,
+        k_denominator: int = 4,
+        enable_sfrm: bool = True,
+    ) -> None:
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        if not 0 < efficiency <= 1:
+            raise ConfigError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.window = window
+        self.efficiency = efficiency
+        self.b_ms_eff = b_ms * efficiency
+        self.b_mm_eff = b_mm * efficiency
+        self.bms_w = self.b_ms_eff * window
+        self.bmm_w = self.b_mm_eff * window
+        self.k = approximate_k(self.b_ms_eff, self.b_mm_eff, k_denominator)
+        self.enable_sfrm = enable_sfrm
+
+        kd = self.k.denominator
+        self._fwb = CreditCounter(bits=8)
+        self._wb = CreditCounter(bits=8, denominator=kd)
+        self._ifrm = CreditCounter(bits=8, denominator=kd)
+        self._sfrm = CreditCounter(bits=8)
+        self._wb_cost = self.k + 1
+        self.stats = WindowStats()
+        self._window_index = 0
+        self.last_targets = SectoredTargets(0, 0, 0, 0)
+
+        # Applied-decision counts (Fig. 7).
+        self.decisions = {"fwb": 0, "wb": 0, "ifrm": 0, "sfrm": 0}
+        self.windows_partitioned = 0
+        self.windows_seen = 0
+
+    # ------------------------------------------------------------------
+    # Window management
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        """Advance to the window containing cycle ``now``.
+
+        Exactly one window elapsed: solve from the collected demand.
+        Several idle windows elapsed: the old observation is stale, so
+        partitioning is dropped (solve from empty stats).
+        """
+        widx = now // self.window
+        if widx == self._window_index:
+            return
+        stats = self.stats if widx == self._window_index + 1 else WindowStats()
+        self.load_targets(solve_sectored(stats, self.bms_w, self.bmm_w, self.k))
+        self.windows_seen += widx - self._window_index
+        self.stats.reset()
+        self._window_index = widx
+
+    def load_targets(self, targets: SectoredTargets) -> None:
+        """Install a window's technique budgets into the credit counters."""
+        self.last_targets = targets
+        kf = float(self._wb_cost)
+        self._fwb.load(targets.n_fwb)
+        self._wb.load(targets.n_wb * kf)      # store (K+1)*N_WB
+        self._ifrm.load(targets.n_ifrm * kf)  # store (K+1)*N_IFRM
+        self._sfrm.load(targets.n_sfrm if self.enable_sfrm else 0)
+        if targets.partitioning_active:
+            self.windows_partitioned += 1
+
+    # ------------------------------------------------------------------
+    # Technique queries (consume credits)
+    # ------------------------------------------------------------------
+    def allow_fill_bypass(self, now: int) -> bool:
+        self.tick(now)
+        if self._fwb.take():
+            self.decisions["fwb"] += 1
+            return True
+        return False
+
+    def allow_write_bypass(self, now: int) -> bool:
+        self.tick(now)
+        if self._wb.take(self._wb_cost):
+            self.decisions["wb"] += 1
+            return True
+        return False
+
+    def allow_forced_miss(self, now: int) -> bool:
+        """IFRM: bypass a known-clean hit to main memory."""
+        self.tick(now)
+        if self._ifrm.take(self._wb_cost):
+            self.decisions["ifrm"] += 1
+            return True
+        return False
+
+    def allow_speculative_read(self, now: int) -> bool:
+        """SFRM: launch a main-memory read before the tag is known."""
+        if not self.enable_sfrm:
+            return False
+        self.tick(now)
+        if self._sfrm.take():
+            self.decisions["sfrm"] += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Demand recording (delegates to the window stats)
+    # ------------------------------------------------------------------
+    def note_ms_access(self, count: int = 1) -> None:
+        self.stats.note_ms_access(count)
+
+    def note_mm_access(self, count: int = 1) -> None:
+        self.stats.note_mm_access(count)
+
+    def note_read_miss(self) -> None:
+        self.stats.note_read_miss()
+
+    def note_write(self) -> None:
+        self.stats.note_write()
+
+    def note_clean_hit(self) -> None:
+        self.stats.note_clean_hit()
+
+    # ------------------------------------------------------------------
+    def total_decisions(self) -> int:
+        return sum(self.decisions.values())
+
+    def decision_fractions(self) -> dict[str, float]:
+        total = self.total_decisions()
+        if not total:
+            return {k: 0.0 for k in self.decisions}
+        return {k: v / total for k, v in self.decisions.items()}

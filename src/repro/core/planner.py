@@ -1,0 +1,127 @@
+"""Bandwidth-partitioning design calculator.
+
+A small planning utility on top of the Section III model: given the
+bandwidths of a memory-side cache and a main memory, it reports every
+constant a DAP deployment needs — the hardware K approximation, the
+optimal CAS split, per-window budgets, and the bandwidth ceiling — plus
+the break-even hit rate beyond which partitioning starts to matter.
+
+Runnable: ``python -m repro.core.planner 102.4 38.4 [--window 64]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.core.bandwidth_model import (
+    max_delivered_bandwidth,
+    optimal_fractions,
+    optimal_mm_cas_fraction,
+)
+from repro.core.credits import approximate_k
+from repro.engine.clock import accesses_per_cpu_cycle
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Everything a DAP deployment needs to know about one platform."""
+
+    b_cache_gbps: float
+    b_mm_gbps: float
+    window: int
+    efficiency: float
+    cpu_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.b_cache_gbps <= 0 or self.b_mm_gbps <= 0:
+            raise ConfigError("bandwidths must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError("efficiency must be in (0, 1]")
+        if self.window <= 0:
+            raise ConfigError("window must be positive")
+
+    @property
+    def k_exact(self) -> float:
+        return self.b_cache_gbps / self.b_mm_gbps
+
+    @property
+    def k_hardware(self) -> Fraction:
+        """K rounded to quarters, as the paper's hardware does."""
+        return approximate_k(self.b_cache_gbps, self.b_mm_gbps)
+
+    @property
+    def optimal_cache_fraction(self) -> float:
+        return optimal_fractions([self.b_cache_gbps, self.b_mm_gbps])[0]
+
+    @property
+    def optimal_mm_fraction(self) -> float:
+        return optimal_mm_cas_fraction(self.b_cache_gbps, self.b_mm_gbps)
+
+    @property
+    def max_bandwidth_gbps(self) -> float:
+        return max_delivered_bandwidth([self.b_cache_gbps, self.b_mm_gbps])
+
+    @property
+    def cache_accesses_per_window(self) -> float:
+        """Effective B_MS$ * W in 64-byte accesses (the solve threshold)."""
+        per_cycle = accesses_per_cpu_cycle(self.b_cache_gbps, cpu_ghz=self.cpu_ghz)
+        return per_cycle * self.efficiency * self.window
+
+    @property
+    def mm_accesses_per_window(self) -> float:
+        per_cycle = accesses_per_cpu_cycle(self.b_mm_gbps, cpu_ghz=self.cpu_ghz)
+        return per_cycle * self.efficiency * self.window
+
+    @property
+    def breakeven_hit_rate(self) -> float:
+        """Hit rate beyond which a shared-channel cache alone bottlenecks
+        reads (Fig. 1's knee): ``1 - B_MM / B_MS$`` (0 if MM >= cache)."""
+        return max(0.0, 1.0 - self.b_mm_gbps / self.b_cache_gbps)
+
+    def describe(self) -> str:
+        k = self.k_hardware
+        return "\n".join([
+            f"platform: cache {self.b_cache_gbps} GB/s + "
+            f"main memory {self.b_mm_gbps} GB/s "
+            f"(W={self.window}, E={self.efficiency}, {self.cpu_ghz} GHz)",
+            f"  K exact                {self.k_exact:.4f}",
+            f"  K hardware             {k.numerator}/{k.denominator}"
+            f" = {float(k):.2f}",
+            f"  optimal split          cache {self.optimal_cache_fraction:.1%}"
+            f" / memory {self.optimal_mm_fraction:.1%}",
+            f"  bandwidth ceiling      {self.max_bandwidth_gbps:.1f} GB/s",
+            f"  B_MS$*W (effective)    {self.cache_accesses_per_window:.1f}"
+            " accesses/window",
+            f"  B_MM*W  (effective)    {self.mm_accesses_per_window:.1f}"
+            " accesses/window",
+            f"  Fig. 1 knee hit rate   {self.breakeven_hit_rate:.1%}",
+        ])
+
+
+def plan(b_cache_gbps: float, b_mm_gbps: float, window: int = 64,
+         efficiency: float = 0.75, cpu_ghz: float = 4.0) -> PartitionPlan:
+    """Build a :class:`PartitionPlan` for one platform."""
+    return PartitionPlan(b_cache_gbps=b_cache_gbps, b_mm_gbps=b_mm_gbps,
+                         window=window, efficiency=efficiency,
+                         cpu_ghz=cpu_ghz)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cache_gbps", type=float)
+    parser.add_argument("mm_gbps", type=float)
+    parser.add_argument("--window", type=int, default=64)
+    parser.add_argument("--efficiency", type=float, default=0.75)
+    parser.add_argument("--cpu-ghz", type=float, default=4.0)
+    args = parser.parse_args(argv)
+    print(plan(args.cache_gbps, args.mm_gbps, window=args.window,
+               efficiency=args.efficiency, cpu_ghz=args.cpu_ghz).describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

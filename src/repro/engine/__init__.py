@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine.
+
+The whole simulator runs in a single clock domain: CPU cycles of the
+(default 4 GHz) core clock. :mod:`repro.engine.clock` converts DRAM-side
+nanosecond/channel-cycle quantities into CPU cycles; the event queue in
+:mod:`repro.engine.event_queue` orders and dispatches callbacks.
+"""
+
+from repro.engine.clock import ClockDomain, CPU_GHZ_DEFAULT
+from repro.engine.event_queue import Simulator
+
+__all__ = ["Simulator", "ClockDomain", "CPU_GHZ_DEFAULT"]

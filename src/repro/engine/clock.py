@@ -1,0 +1,77 @@
+"""Clock-domain conversion helpers.
+
+All simulation time is expressed in CPU cycles. DRAM devices are specified
+in their own channel clock (e.g. DDR4-2400's 1.2 GHz command clock, HBM's
+800 MHz); :class:`ClockDomain` converts device cycles and nanoseconds into
+integer CPU cycles, always rounding up so that a converted latency is never
+optimistic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+CPU_GHZ_DEFAULT = 4.0
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """Converts between a device clock and the CPU clock.
+
+    Parameters
+    ----------
+    device_ghz:
+        Frequency of the device (channel command) clock in GHz.
+    cpu_ghz:
+        Frequency of the CPU clock in GHz (default 4 GHz, per the paper's
+        Skylake-like cores).
+    """
+
+    device_ghz: float
+    cpu_ghz: float = CPU_GHZ_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.device_ghz <= 0 or self.cpu_ghz <= 0:
+            raise ConfigError(
+                f"clock frequencies must be positive, got device={self.device_ghz} "
+                f"cpu={self.cpu_ghz}"
+            )
+
+    @property
+    def cpu_cycles_per_device_cycle(self) -> float:
+        return self.cpu_ghz / self.device_ghz
+
+    def device_cycles_to_cpu(self, device_cycles: float) -> int:
+        """Convert device cycles to CPU cycles, rounding up."""
+        return math.ceil(device_cycles * self.cpu_cycles_per_device_cycle)
+
+    def ns_to_cpu(self, nanoseconds: float) -> int:
+        """Convert a latency in nanoseconds to CPU cycles, rounding up."""
+        return math.ceil(nanoseconds * self.cpu_ghz)
+
+    def cpu_to_ns(self, cpu_cycles: int) -> float:
+        """Convert CPU cycles to nanoseconds."""
+        return cpu_cycles / self.cpu_ghz
+
+
+def bytes_per_cpu_cycle(gbps: float, cpu_ghz: float = CPU_GHZ_DEFAULT) -> float:
+    """Translate a GB/s bandwidth into bytes per CPU cycle.
+
+    1 GB/s is taken as 1e9 bytes/s, matching the paper's figures
+    (e.g. 38.4 GB/s for dual-channel DDR4-2400).
+    """
+    if gbps <= 0:
+        raise ConfigError(f"bandwidth must be positive, got {gbps}")
+    return gbps / cpu_ghz
+
+
+def accesses_per_cpu_cycle(
+    gbps: float, access_bytes: int = 64, cpu_ghz: float = CPU_GHZ_DEFAULT
+) -> float:
+    """Bandwidth in 64-byte accesses per CPU cycle (the paper's B_i unit)."""
+    if access_bytes <= 0:
+        raise ConfigError(f"access size must be positive, got {access_bytes}")
+    return bytes_per_cpu_cycle(gbps, cpu_ghz) / access_bytes

@@ -1,0 +1,24 @@
+"""Exception types for the repro package.
+
+A small, flat hierarchy: every error raised by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or mix could not be constructed."""

@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment module exposes ``run(scale: Scale) -> ExperimentResult``
+and can be executed standalone (``python -m repro.experiments.fig06_dap_speedup``)
+or through :mod:`repro.experiments.runner`. The :class:`~repro.experiments.common.Scale`
+controls trace lengths and capacity scaling — never model fidelity — so
+the same code produces CI-speed smoke results and paper-scale sweeps.
+"""
+
+from repro.experiments.common import (
+    Scale,
+    SMOKE,
+    SMALL,
+    PAPER,
+    get_scale,
+    ExperimentResult,
+)
+
+__all__ = ["Scale", "SMOKE", "SMALL", "PAPER", "get_scale", "ExperimentResult"]

@@ -1,0 +1,66 @@
+"""Ablation: stacking DAP's techniques one at a time.
+
+Not a paper artifact, but the design-choice ablation DESIGN.md calls
+out: how much of DAP's gain does each technique contribute? Runs the
+bandwidth-sensitive mixes with FWB only, FWB+WB, FWB+WB+IFRM, and full
+DAP (adds SFRM), all normalized to the optimized baseline.
+
+Expected shape: monotone non-decreasing as techniques stack (each only
+fires when the solver judges it profitable), with the per-workload
+distribution mirroring Fig. 7 — write-heavy workloads saturate at
+FWB+WB, tag-thrashing ones only take off once SFRM joins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+VARIANTS = (
+    ("fwb", "dap-fwb"),
+    ("fwb+wb", "dap-fwb-wb"),
+    ("fwb+wb+ifrm", "dap-no-sfrm"),
+    ("full_dap", "dap"),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    result = ExperimentResult(
+        experiment="Ablation — stacking DAP techniques",
+        headers=["workload"] + [label for label, _ in VARIANTS],
+        notes="normalized weighted speedup over the optimized baseline",
+    )
+    columns: dict[str, list[float]] = {label: [] for label, _ in VARIANTS}
+    for name in workloads:
+        mix = rate_mix(name)
+        base = run_mix(mix, scaled_config(scale, policy="baseline"), scale)
+        row = [name]
+        for label, policy in VARIANTS:
+            res = run_mix(mix, scaled_config(scale, policy=policy), scale)
+            ws = normalized_weighted_speedup(res.ipc, base.ipc)
+            row.append(ws)
+            columns[label].append(ws)
+        result.add(*row)
+    result.add("GMEAN", *[geomean(columns[label]) for label, _ in VARIANTS])
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

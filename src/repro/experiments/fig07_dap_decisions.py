@@ -1,0 +1,56 @@
+"""Fig. 7: contribution of FWB / WB / IFRM / SFRM to DAP's decisions.
+
+Expected shape: FWB and WB carry most workloads; the write-heavy gcc
+inputs use almost exclusively FWB+WB; omnetpp is dominated by SFRM
+(its tag-cache thrash makes speculative reads the win); mcf leans on
+IFRM (clean hot hits). Paper averages: FWB 23%, WB 40%, IFRM 12%,
+SFRM 25%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+TECHNIQUES = ("fwb", "wb", "ifrm", "sfrm")
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    result = ExperimentResult(
+        experiment="Fig. 7 — DAP decision mix",
+        headers=["workload", "fwb", "wb", "ifrm", "sfrm"],
+        notes="fraction of all applied DAP decisions",
+    )
+    totals = {t: 0.0 for t in TECHNIQUES}
+    for name in workloads:
+        mix = rate_mix(name)
+        dap = run_mix(mix, scaled_config(scale, policy="dap"), scale)
+        decisions = dap.dap_decisions
+        total = sum(decisions.get(t, 0) for t in TECHNIQUES) or 1
+        fractions = {t: decisions.get(t, 0) / total for t in TECHNIQUES}
+        result.add(name, *[fractions[t] for t in TECHNIQUES])
+        for t in TECHNIQUES:
+            totals[t] += fractions[t]
+    n = len(workloads)
+    result.add("MEAN", *[totals[t] / n for t in TECHNIQUES])
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

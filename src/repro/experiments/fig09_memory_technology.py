@@ -1,0 +1,70 @@
+"""Fig. 9: DAP sensitivity to main-memory latency and bandwidth.
+
+Four main memories: default DDR4-2400 (with I/O delay), DDR4-2400
+without the I/O delay, higher-latency LPDDR4-2400 (same 38.4 GB/s), and
+higher-bandwidth DDR4-3200 (51.2 GB/s). Each bar is DAP normalized to
+the *same-technology* baseline.
+
+Expected shape: removing I/O latency slightly raises DAP's benefit;
+slow LPDDR4 lowers it (steered accesses pay more); faster DDR4-3200
+raises it (the optimal partition sends more to main memory).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.mem.configs import ddr4_2400, ddr4_2400_no_io, ddr4_3200, lpddr4_2400
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+MEMORIES = (
+    ("DDR4-2400", ddr4_2400),
+    ("DDR4-2400-noIO", ddr4_2400_no_io),
+    ("LPDDR4-2400", lpddr4_2400),
+    ("DDR4-3200", ddr4_3200),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    result = ExperimentResult(
+        experiment="Fig. 9 — sensitivity to main-memory technology",
+        headers=["workload"] + [name for name, _ in MEMORIES],
+        notes="DAP normalized to the same-technology baseline",
+    )
+    per_memory: dict[str, list[float]] = {name: [] for name, _ in MEMORIES}
+    for name in workloads:
+        mix = rate_mix(name)
+        row = [name]
+        for mem_name, factory in MEMORIES:
+            base = run_mix(
+                mix, scaled_config(scale, policy="baseline",
+                                   mm_dram=factory()), scale)
+            dap = run_mix(
+                mix, scaled_config(scale, policy="dap",
+                                   mm_dram=factory()), scale)
+            ws = normalized_weighted_speedup(dap.ipc, base.ipc)
+            row.append(ws)
+            per_memory[mem_name].append(ws)
+        result.add(*row)
+    result.add("GMEAN", *[geomean(per_memory[m]) for m, _ in MEMORIES])
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

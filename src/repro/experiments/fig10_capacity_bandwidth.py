@@ -1,0 +1,75 @@
+"""Fig. 10: DAP sensitivity to DRAM cache capacity and bandwidth.
+
+Top panel: capacity in {2, 4, 8} GB at 102.4 GB/s. Bottom panel:
+bandwidth in {102.4, 128, 204.8} GB/s at 4 GB. Each value is DAP
+normalized to the matching baseline.
+
+Expected shape: DAP's gain grows with capacity (a bigger cache absorbs
+more accesses, pulling the baseline further from the optimal partition)
+and shrinks with cache bandwidth (the optimum then keeps most accesses
+in the cache anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.hierarchy.system import GiB
+from repro.mem.configs import hbm_102, hbm_128, hbm_204
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+CAPACITIES_GB = (2, 4, 8)
+BANDWIDTHS = (("102.4", hbm_102), ("128", hbm_128), ("204.8", hbm_204))
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    cap_headers = [f"cap_{c}GB" for c in CAPACITIES_GB]
+    bw_headers = [f"bw_{b}" for b, _ in BANDWIDTHS]
+    result = ExperimentResult(
+        experiment="Fig. 10 — DRAM cache capacity and bandwidth sweeps",
+        headers=["workload"] + cap_headers + bw_headers,
+        notes="DAP normalized to the matching baseline",
+    )
+    columns: dict[str, list[float]] = {h: [] for h in cap_headers + bw_headers}
+    for name in workloads:
+        mix = rate_mix(name)
+        row = [name]
+        for cap, header in zip(CAPACITIES_GB, cap_headers):
+            base = run_mix(mix, scaled_config(
+                scale, policy="baseline", paper_capacity=cap * GiB), scale)
+            dap = run_mix(mix, scaled_config(
+                scale, policy="dap", paper_capacity=cap * GiB), scale)
+            ws = normalized_weighted_speedup(dap.ipc, base.ipc)
+            row.append(ws)
+            columns[header].append(ws)
+        for (label, factory), header in zip(BANDWIDTHS, bw_headers):
+            base = run_mix(mix, scaled_config(
+                scale, policy="baseline", msc_dram=factory()), scale)
+            dap = run_mix(mix, scaled_config(
+                scale, policy="dap", msc_dram=factory()), scale)
+            ws = normalized_weighted_speedup(dap.ipc, base.ipc)
+            row.append(ws)
+            columns[header].append(ws)
+        result.add(*row)
+    result.add("GMEAN", *[geomean(columns[h]) for h in cap_headers + bw_headers])
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

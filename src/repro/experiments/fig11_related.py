@@ -1,0 +1,58 @@
+"""Fig. 11: DAP against the related proposals SBD, SBD-WT and BATMAN.
+
+All policies run on the optimized sectored DRAM cache baseline.
+
+Expected shape: SBD *loses* performance (forced cleaning of pages
+leaving its Dirty List floods main memory — paper: -16% average);
+SBD-WT recovers to a modest gain; BATMAN hovers near the baseline;
+DAP clearly wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+POLICIES = ("sbd", "sbd-wt", "batman", "dap")
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    result = ExperimentResult(
+        experiment="Fig. 11 — comparison with SBD, SBD-WT and BATMAN",
+        headers=["workload"] + list(POLICIES),
+        notes="normalized weighted speedup over the optimized baseline",
+    )
+    columns: dict[str, list[float]] = {p: [] for p in POLICIES}
+    for name in workloads:
+        mix = rate_mix(name)
+        base = run_mix(mix, scaled_config(scale, policy="baseline"), scale)
+        row = [name]
+        for policy in POLICIES:
+            run_result = run_mix(mix, scaled_config(scale, policy=policy), scale)
+            ws = normalized_weighted_speedup(run_result.ipc, base.ipc)
+            row.append(ws)
+            columns[policy].append(ws)
+        result.add(*row)
+    result.add("GMEAN", *[geomean(columns[p]) for p in POLICIES])
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

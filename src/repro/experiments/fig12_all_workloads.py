@@ -1,0 +1,63 @@
+"""Fig. 12: DAP over the full 44-mix evaluation set.
+
+Twelve bandwidth-sensitive rate-8 mixes, five bandwidth-insensitive
+rate-8 mixes, and 27 heterogeneous mixes. Heterogeneous mixes use
+alone-run IPCs as the weighted-speedup reference.
+
+Expected shape: no bandwidth-insensitive mix loses (DAP seldom invokes
+partitioning for them); heterogeneous mixes gain broadly; overall
+geometric mean around the paper's 13%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    mix_alone_ipcs,
+    run_mix,
+    scaled_config,
+)
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import all_mixes
+
+
+def run(scale: Optional[Scale] = None,
+        max_mixes_per_category: Optional[int] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    result = ExperimentResult(
+        experiment="Fig. 12 — DAP across all 44 mixes",
+        headers=["mix", "category", "norm_ws_dap"],
+    )
+    per_category: dict[str, list[float]] = {}
+    counts: dict[str, int] = {}
+    base_cfg = scaled_config(scale, policy="baseline")
+    dap_cfg = scaled_config(scale, policy="dap")
+    for mix in all_mixes():
+        if max_mixes_per_category is not None:
+            if counts.get(mix.category, 0) >= max_mixes_per_category:
+                continue
+            counts[mix.category] = counts.get(mix.category, 0) + 1
+        alone = (mix_alone_ipcs(mix, base_cfg, scale)
+                 if mix.category == "heterogeneous" else None)
+        base = run_mix(mix, base_cfg, scale)
+        dap = run_mix(mix, dap_cfg, scale)
+        ws = normalized_weighted_speedup(dap.ipc, base.ipc, alone)
+        result.add(mix.name, mix.category, ws)
+        per_category.setdefault(mix.category, []).append(ws)
+    for category, values in per_category.items():
+        result.add(f"GMEAN-{category}", "", geomean(values))
+    result.add("GMEAN-all", "",
+               geomean([v for vs in per_category.values() for v in vs]))
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Fig. 13: DAP on a 16-core system.
+
+The scaled-up platform of Section VI-A5: 16 cores, 16 MB L3, an 8 GB /
+204.8 GB/s sectored DRAM cache, and dual-channel DDR4-3200 (51.2 GB/s).
+Workloads run in rate-16 mode.
+
+Expected shape: DAP's benefit persists at scale (paper: 14.6% average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.hierarchy.system import GiB
+from repro.mem.configs import ddr4_3200, hbm_204
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+
+def sixteen_core_config(scale: Scale, policy: str):
+    config = scaled_config(
+        scale, policy=policy, paper_capacity=8 * GiB,
+        msc_dram=hbm_204(), mm_dram=ddr4_3200(), num_cores=16,
+    )
+    # 16 MB L3 at paper scale, shrunk by the same divisor.
+    sram = replace(config.sram,
+                   l3_bytes=max(64 * 1024,
+                                16 * (1 << 20) // scale.capacity_divisor))
+    return replace(config, sram=sram)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    result = ExperimentResult(
+        experiment="Fig. 13 — DAP on a 16-core system",
+        headers=["workload", "norm_ws_dap"],
+        notes="rate-16, 8 GB / 204.8 GB/s DRAM cache, DDR4-3200",
+    )
+    speedups = []
+    for name in workloads:
+        mix = rate_mix(name, ways=16)
+        base = run_mix(mix, sixteen_core_config(scale, "baseline"), scale)
+        dap = run_mix(mix, sixteen_core_config(scale, "dap"), scale)
+        ws = normalized_weighted_speedup(dap.ipc, base.ipc)
+        result.add(name, ws)
+        speedups.append(ws)
+    result.add("GMEAN", geomean(speedups))
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fig. 14: DAP on the Alloy cache, against BEAR.
+
+Top panel: weighted speedup of Alloy+BEAR and Alloy+DAP over the Alloy
+baseline (which already includes the L3 presence bit and the hit/miss
+predictor). Bottom panel: main-memory CAS fraction.
+
+Expected shape: BEAR improves the baseline; DAP improves it more
+(paper: 22% vs 29%), and DAP's MM CAS fraction moves toward the Alloy
+optimum of ~36% (the TAD transfer uses only 2 of its 3 cycles for data,
+so B_MS$ = 2/3 x 102.4 GB/s).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.bandwidth_model import optimal_mm_cas_fraction
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+
+def alloy_config(scale: Scale, policy: str):
+    return scaled_config(scale, policy=policy, msc_kind="alloy")
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    optimal = optimal_mm_cas_fraction(102.4 * 2 / 3, 38.4)
+    result = ExperimentResult(
+        experiment="Fig. 14 — Alloy cache: BEAR vs DAP",
+        headers=["workload", "ws_bear", "ws_dap",
+                 "mm_frac_base", "mm_frac_bear", "mm_frac_dap"],
+        notes=f"optimal Alloy MM CAS fraction = {optimal:.3f}",
+    )
+    bear_ws, dap_ws = [], []
+    for name in workloads:
+        mix = rate_mix(name)
+        base = run_mix(mix, alloy_config(scale, "baseline"), scale)
+        bear = run_mix(mix, alloy_config(scale, "bear"), scale)
+        dap = run_mix(mix, alloy_config(scale, "dap"), scale)
+        ws_b = normalized_weighted_speedup(bear.ipc, base.ipc)
+        ws_d = normalized_weighted_speedup(dap.ipc, base.ipc)
+        result.add(name, ws_b, ws_d, base.mm_cas_fraction,
+                   bear.mm_cas_fraction, dap.mm_cas_fraction)
+        bear_ws.append(ws_b)
+        dap_ws.append(ws_d)
+    result.add("GMEAN", geomean(bear_ws), geomean(dap_ws), "", "", "")
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiment fig06                # one experiment, default scale
+    repro-experiment all --scale small    # everything the paper reports
+    repro-experiment table1 fig08 --workloads mcf omnetpp
+
+Each experiment prints the paper-artifact table it regenerates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.common import get_scale
+
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_bandwidth_vs_hitrate",
+    "fig02": "repro.experiments.fig02_edram_capacity",
+    "fig04": "repro.experiments.fig04_bandwidth_sensitivity",
+    "fig05": "repro.experiments.fig05_tag_cache",
+    "fig06": "repro.experiments.fig06_dap_speedup",
+    "fig07": "repro.experiments.fig07_dap_decisions",
+    "fig08": "repro.experiments.fig08_cas_fraction",
+    "table1": "repro.experiments.table1_sensitivity",
+    "fig09": "repro.experiments.fig09_memory_technology",
+    "fig10": "repro.experiments.fig10_capacity_bandwidth",
+    "fig11": "repro.experiments.fig11_related",
+    "fig12": "repro.experiments.fig12_all_workloads",
+    "fig13": "repro.experiments.fig13_16core",
+    "fig14": "repro.experiments.fig14_alloy",
+    "fig15": "repro.experiments.fig15_edram",
+    "ablation": "repro.experiments.ablation_techniques",
+    "flat": "repro.experiments.ext_flat_memory",
+}
+
+# Experiments that accept a `workloads` keyword.
+_WORKLOAD_AWARE = set(EXPERIMENTS) - {"fig01", "fig12", "flat"}
+
+
+def run_experiment(name: str, scale_name: Optional[str] = None,
+                   workloads: Optional[Sequence[str]] = None):
+    """Run one experiment by id, returning its ExperimentResult."""
+    if name not in EXPERIMENTS:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[name])
+    scale = get_scale(scale_name)
+    kwargs = {}
+    if workloads and name in _WORKLOAD_AWARE:
+        kwargs["workloads"] = list(workloads)
+    return module.run(scale, **kwargs)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument("--scale", choices=("smoke", "small", "paper"),
+                        default=None, help="run scale (default: $REPRO_SCALE or smoke)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to these workload names")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each table as DIR/<experiment>.csv")
+    parser.add_argument("--chart", type=int, metavar="COL", default=None,
+                        help="render column COL of each table as ASCII bars")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        start = time.time()
+        try:
+            result = run_experiment(name, args.scale, args.workloads)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        result.print()
+        if args.chart is not None:
+            from repro.errors import ConfigError
+            from repro.metrics.charts import chart_result
+            try:
+                print()
+                print(chart_result(result, column=args.chart, baseline=1.0))
+            except ConfigError as exc:
+                print(f"(chart skipped: {exc})")
+        if args.csv:
+            path = result.to_csv(args.csv, name)
+            print(f"[csv written to {path}]")
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

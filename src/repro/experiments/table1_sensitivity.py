@@ -1,0 +1,76 @@
+"""Table I: DAP sensitivity to the window size W and efficiency E.
+
+Geometric-mean normalized weighted speedup over the bandwidth-sensitive
+mixes for W in {32, 64, 128} at E = 0.75, and E in {0.5, 0.75, 1.0} at
+W = 64.
+
+Expected shape: a shallow optimum at (W=64, E=0.75); E=1.0 the worst of
+the three efficiencies, because assuming full efficiency overestimates
+what the cache can serve and under-partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    get_scale,
+    run_mix,
+    scaled_config,
+)
+from repro.metrics.speedup import geomean, normalized_weighted_speedup
+from repro.workloads.mixes import rate_mix
+from repro.workloads.profiles import BANDWIDTH_SENSITIVE
+
+W_VALUES = (32, 64, 128)
+E_VALUES = (0.50, 0.75, 1.00)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    workloads = list(workloads or BANDWIDTH_SENSITIVE)
+    result = ExperimentResult(
+        experiment="Table I — sensitivity to W (at E=0.75) and E (at W=64)",
+        headers=["parameter", "value", "gmean_norm_ws"],
+    )
+    baselines = {}
+    for name in workloads:
+        baselines[name] = run_mix(
+            rate_mix(name), scaled_config(scale, policy="baseline"), scale
+        )
+
+    def gmean_for(window: int, efficiency: float) -> float:
+        speedups = []
+        for name in workloads:
+            dap = run_mix(
+                rate_mix(name),
+                scaled_config(scale, policy="dap", dap_window=window,
+                              dap_efficiency=efficiency),
+                scale,
+            )
+            speedups.append(
+                normalized_weighted_speedup(dap.ipc, baselines[name].ipc)
+            )
+        return geomean(speedups)
+
+    cache: dict[tuple[int, float], float] = {}
+    for window in W_VALUES:
+        cache[(window, 0.75)] = gmean_for(window, 0.75)
+        result.add("W", window, cache[(window, 0.75)])
+    for efficiency in E_VALUES:
+        key = (64, efficiency)
+        if key not in cache:
+            cache[key] = gmean_for(64, efficiency)
+        result.add("E", efficiency, cache[key])
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""OS-visible flat-memory controller.
+
+Routes each L3 miss / writeback to the tier its page lives in — no
+tags, no fills, no metadata. Migrations requested by the placement
+policy cost real traffic: every valid line of a migrating page is read
+from the source tier and written to the destination tier.
+
+Implements the same interface as the cache-mode controllers
+(:class:`~repro.hierarchy.msc_base.MscController`), so the whole CPU /
+SRAM hierarchy stack and the metrics layer work unchanged on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.event_queue import Simulator
+from repro.flat.placement import PAGE_LINES, PagePlacement, Tier
+from repro.hierarchy.msc_base import MscController, ReadCallback
+from repro.mem.device import MemoryDevice
+from repro.mem.request import AccessKind, Request
+from repro.policies.base import SteeringPolicy
+
+
+class FlatMemoryController(MscController):
+    """Two OS-visible tiers behind a page-placement policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fast_dev: MemoryDevice,
+        slow_dev: MemoryDevice,
+        placement: PagePlacement,
+        policy: Optional[SteeringPolicy] = None,
+    ) -> None:
+        # fast_dev plays the cache_dev role for base-class services.
+        super().__init__(sim, fast_dev, slow_dev, policy)
+        self.fast_dev = fast_dev
+        self.slow_dev = slow_dev
+        self.placement = placement
+        self.served_hits = 0    # fast-tier accesses, for metric parity
+        self.served_misses = 0
+        self.migrated_pages = 0
+
+    # ------------------------------------------------------------------
+    def _device_for(self, line: int) -> MemoryDevice:
+        tier = self.placement.tier_of(line)
+        self.placement.observe(line, tier)
+        if tier is Tier.FAST:
+            self.served_hits += 1
+            return self.fast_dev
+        self.served_misses += 1
+        return self.slow_dev
+
+    def _run_epoch(self) -> None:
+        for page, to_tier in self.placement.epoch(self.sim.now):
+            self._migrate(page, to_tier)
+
+    def _migrate(self, page: int, to_tier: Tier) -> None:
+        """Copy a page between tiers: 64 reads + 64 writes of traffic."""
+        self.migrated_pages += 1
+        src = self.slow_dev if to_tier is Tier.FAST else self.fast_dev
+        dst = self.fast_dev if to_tier is Tier.FAST else self.slow_dev
+        base = page * PAGE_LINES
+        for offset in range(PAGE_LINES):
+            line = base + offset
+            src.enqueue(
+                Request(
+                    line=line,
+                    kind=AccessKind.EVICT_READ,
+                    on_complete=lambda r, t, d=dst: d.enqueue(
+                        Request(line=r.line, kind=AccessKind.WRITEBACK)
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # MscController interface
+    # ------------------------------------------------------------------
+    def warm_line(self, line: int, dirty: bool = False) -> None:
+        """Touch the page so first-touch policies allocate it."""
+        self.placement.tier_of(line)
+
+    def read(self, line: int, core_id: int, callback: ReadCallback,
+             kind: AccessKind = AccessKind.DEMAND_READ) -> None:
+        now = self.sim.now
+        self.policy.tick(now)
+        self._run_epoch()
+        self.stats.reads += 1
+        issue = now
+        self._device_for(line).enqueue(
+            Request(line=line, kind=kind, core_id=core_id,
+                    on_complete=lambda r, t: self._finish_read(issue, t, callback))
+        )
+
+    def write(self, line: int, core_id: int) -> None:
+        self.policy.tick(self.sim.now)
+        self._run_epoch()
+        self.stats.writes += 1
+        self._device_for(line).enqueue(
+            Request(line=line, kind=AccessKind.WRITEBACK, core_id=core_id)
+        )
+
+    # ------------------------------------------------------------------
+    def served_hit_rate(self) -> float:
+        """Fraction of demand served by the fast tier."""
+        total = self.served_hits + self.served_misses
+        return self.served_hits / total if total else 0.0
+
+    def fast_traffic_fraction(self) -> float:
+        fast = self.fast_dev.total_cas()
+        total = fast + self.slow_dev.total_cas()
+        return fast / total if total else 0.0

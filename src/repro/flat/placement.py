@@ -1,0 +1,211 @@
+"""Page-placement policies for OS-visible heterogeneous memory.
+
+A policy answers one question — which tier does this 4 KB page live
+in? — and may request migrations. Three policies bracket the design
+space the paper's bandwidth equation predicts:
+
+- **first-touch**: every new page goes to the fast tier until it fills
+  (maximizes the fast tier's "hit rate" — the flat-mode analogue of the
+  traditional wisdom the paper challenges);
+- **bandwidth interleave**: pages are statically split in proportion to
+  the tier bandwidths, Equation 3's optimum (``f_fast = B_f/(B_f+B_s)``),
+  regardless of capacity headroom;
+- **adaptive migration**: starts first-touch, observes per-tier traffic
+  per epoch, and migrates pages toward the bandwidth-optimal traffic
+  split — DAP's window learning, applied at page granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigError
+
+PAGE_LINES = 64  # 4 KB pages
+
+
+class Tier(enum.Enum):
+    FAST = "fast"
+    SLOW = "slow"
+
+
+class PagePlacement:
+    """Base: tracks page residency; subclasses pick tiers."""
+
+    def __init__(self, fast_capacity_pages: int) -> None:
+        if fast_capacity_pages <= 0:
+            raise ConfigError("fast tier must hold at least one page")
+        self.fast_capacity_pages = fast_capacity_pages
+        self._fast_pages: set[int] = set()
+        self.migrations = 0
+
+    @staticmethod
+    def page_of(line: int) -> int:
+        return line // PAGE_LINES
+
+    def tier_of(self, line: int) -> Tier:
+        """Resolve (allocating on first touch) the tier of a line."""
+        page = self.page_of(line)
+        if page in self._fast_pages:
+            return Tier.FAST
+        if self._admit_new_page(page):
+            self._fast_pages.add(page)
+            return Tier.FAST
+        return Tier.SLOW
+
+    def _admit_new_page(self, page: int) -> bool:
+        raise NotImplementedError
+
+    def observe(self, line: int, tier: Tier) -> None:
+        """Called on every routed access (adaptive policies train here)."""
+
+    def epoch(self, now: int) -> list[tuple[int, Tier]]:
+        """Periodic hook; returns pages to migrate as (page, to_tier)."""
+        return []
+
+    @property
+    def fast_pages(self) -> int:
+        return len(self._fast_pages)
+
+    def _move(self, page: int, to_tier: Tier) -> None:
+        if to_tier is Tier.FAST:
+            self._fast_pages.add(page)
+        else:
+            self._fast_pages.discard(page)
+        self.migrations += 1
+
+
+class FirstTouchPlacement(PagePlacement):
+    """Fill the fast tier first-come-first-served (the OS default)."""
+
+    name = "first-touch"
+
+    def _admit_new_page(self, page: int) -> bool:
+        return len(self._fast_pages) < self.fast_capacity_pages
+
+
+class BandwidthInterleavePlacement(PagePlacement):
+    """Equation 3 applied to pages: admit a page to the fast tier with a
+    deterministic hash so that ``f_fast = B_fast / (B_fast + B_slow)`` of
+    pages (and, for uniform traffic, of accesses) land there."""
+
+    name = "bandwidth-interleave"
+
+    def __init__(self, fast_capacity_pages: int, b_fast: float,
+                 b_slow: float) -> None:
+        super().__init__(fast_capacity_pages)
+        if b_fast <= 0 or b_slow <= 0:
+            raise ConfigError("tier bandwidths must be positive")
+        self.fast_fraction = b_fast / (b_fast + b_slow)
+
+    def _admit_new_page(self, page: int) -> bool:
+        if len(self._fast_pages) >= self.fast_capacity_pages:
+            return False
+        # Deterministic per-page hash in [0, 1).
+        digest = (page * 2654435761) % (1 << 32) / (1 << 32)
+        return digest < self.fast_fraction
+
+
+class AdaptiveMigrationPlacement(PagePlacement):
+    """Window-learned placement: migrate pages until the measured
+    access split matches the bandwidth ratio (the flat-mode DAP)."""
+
+    name = "adaptive"
+
+    def __init__(self, fast_capacity_pages: int, b_fast: float, b_slow: float,
+                 epoch_cycles: int = 100_000, migrate_batch: int = 32) -> None:
+        super().__init__(fast_capacity_pages)
+        if b_fast <= 0 or b_slow <= 0:
+            raise ConfigError("tier bandwidths must be positive")
+        self.target_fast_fraction = b_fast / (b_fast + b_slow)
+        self.epoch_cycles = epoch_cycles
+        self.migrate_batch = migrate_batch
+        self._last_epoch = 0
+        self._access_counts: dict[int, int] = {}
+        self._fast_accesses = 0
+        self._slow_accesses = 0
+        self._settle = 0
+        # Pages the controller demoted stay out until promoted back,
+        # otherwise first-touch re-admission undoes every demotion.
+        self._demoted: set[int] = set()
+
+    def _admit_new_page(self, page: int) -> bool:
+        if page in self._demoted:
+            return False
+        return len(self._fast_pages) < self.fast_capacity_pages
+
+    def observe(self, line: int, tier: Tier) -> None:
+        page = self.page_of(line)
+        self._access_counts[page] = self._access_counts.get(page, 0) + 1
+        if tier is Tier.FAST:
+            self._fast_accesses += 1
+        else:
+            self._slow_accesses += 1
+
+    def epoch(self, now: int) -> list[tuple[int, Tier]]:
+        if now - self._last_epoch < self.epoch_cycles:
+            return []
+        self._last_epoch = now
+        total = self._fast_accesses + self._slow_accesses
+        if total < 100:
+            return []
+        fast_fraction = self._fast_accesses / total
+        moves: list[tuple[int, Tier]] = []
+        by_heat = sorted(self._access_counts, key=self._access_counts.get)
+        error = fast_fraction - self.target_fast_fraction
+        # Move pages whose combined heat covers the traffic excess (a
+        # hysteresis band keeps the controller quiet near the target).
+        # Half-gain correction plus a settle epoch after each batch
+        # keeps the loop stable on noisy per-epoch estimates.
+        if self._settle > 0:
+            self._settle -= 1
+            self._access_counts.clear()
+            self._fast_accesses = self._slow_accesses = 0
+            return []
+        needed = 0.5 * abs(error) * total
+        if error > 0.05:
+            # Fast tier too hot: demote pages until the excess is covered.
+            moved_heat = 0.0
+            for page in by_heat:
+                if page not in self._fast_pages:
+                    continue
+                if moved_heat >= needed or len(moves) >= self.migrate_batch:
+                    break
+                self._move(page, Tier.SLOW)
+                self._demoted.add(page)
+                moves.append((page, Tier.SLOW))
+                moved_heat += self._access_counts[page]
+        elif error < -0.05:
+            # Fast tier underused: promote hot slow pages.
+            moved_heat = 0.0
+            room = self.fast_capacity_pages - len(self._fast_pages)
+            for page in reversed(by_heat):
+                if page in self._fast_pages:
+                    continue
+                if moved_heat >= needed or len(moves) >= min(
+                        self.migrate_batch, max(room, 0)):
+                    break
+                self._move(page, Tier.FAST)
+                self._demoted.discard(page)
+                moves.append((page, Tier.FAST))
+                moved_heat += self._access_counts[page]
+        self._access_counts.clear()
+        self._fast_accesses = self._slow_accesses = 0
+        if moves:
+            self._settle = 2
+        return moves
+
+
+def make_placement(name: str, fast_capacity_pages: int, b_fast: float,
+                   b_slow: float,
+                   epoch_cycles: int = 100_000) -> PagePlacement:
+    """Placement factory by policy name."""
+    if name == "first-touch":
+        return FirstTouchPlacement(fast_capacity_pages)
+    if name == "bandwidth-interleave":
+        return BandwidthInterleavePlacement(fast_capacity_pages, b_fast, b_slow)
+    if name == "adaptive":
+        return AdaptiveMigrationPlacement(fast_capacity_pages, b_fast, b_slow,
+                                          epoch_cycles=epoch_cycles)
+    raise ConfigError(f"unknown placement policy {name!r}")

@@ -1,0 +1,232 @@
+"""On-chip SRAM hierarchy: private L1/L2, shared inclusive L3.
+
+Functional arrays with fixed latencies (3 / 11 / 20 cycles round trip,
+per the paper's Skylake-like cores); the interesting timing is below the
+L3, where misses enter the memory-side cache controller. The hierarchy
+also hosts the multi-stream stride prefetcher that trains on L2 misses
+and fills L2/L3, and it merges concurrent misses to a line (MSHR-style)
+so one fill serves all waiters.
+
+Writebacks cascade: a dirty L1 victim merges into L2, a dirty L2 victim
+into L3, and a dirty L3 victim becomes a memory-side cache write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.sram_cache import SRAMCache
+from repro.engine.event_queue import Simulator
+from repro.hierarchy.msc_base import MscController
+from repro.mem.request import AccessKind
+
+FillCallback = Callable[[int], None]
+
+
+@dataclass(frozen=True)
+class SramLevels:
+    """Geometry/latency of the three SRAM levels."""
+
+    l1_bytes: int = 32 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 3
+    l2_bytes: int = 256 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 11
+    l3_bytes: int = 8 * 1024 * 1024
+    l3_assoc: int = 16
+    l3_latency: int = 20
+
+
+class StridePrefetcher:
+    """Multi-stream stride prefetcher (per core), training on L2 misses.
+
+    Streams are tracked per 4 KB region; two consecutive equal strides
+    arm the stream and each subsequent access prefetches ``degree``
+    lines ahead.
+    """
+
+    def __init__(self, degree: int = 3, max_streams: int = 32) -> None:
+        self.degree = degree
+        self.max_streams = max_streams
+        self._streams: dict[int, list[int]] = {}  # region -> [last, stride, conf]
+        self.issued = 0
+
+    def observe(self, line: int) -> list[int]:
+        """Record an access; return the lines to prefetch."""
+        region = line >> 6  # 4 KB region
+        stream = self._streams.get(region)
+        if stream is None:
+            if len(self._streams) >= self.max_streams:
+                oldest = next(iter(self._streams))
+                del self._streams[oldest]
+            self._streams[region] = [line, 0, 0]
+            return []
+        last, stride, conf = stream
+        delta = line - last
+        if delta == 0:
+            return []
+        if delta == stride:
+            conf = min(conf + 1, 4)
+        else:
+            stride, conf = delta, 1 if -8 <= delta <= 8 and delta != 0 else 0
+        stream[0], stream[1], stream[2] = line, stride, conf
+        if conf >= 2 and stride != 0:
+            targets = [line + stride * (i + 1) for i in range(self.degree)]
+            self.issued += len(targets)
+            return targets
+        return []
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 over a shared inclusive L3, backed by an MSC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_cores: int,
+        msc: MscController,
+        levels: SramLevels = SramLevels(),
+        enable_prefetch: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.num_cores = num_cores
+        self.msc = msc
+        self.levels = levels
+        self.l1 = [
+            SRAMCache(f"l1.{i}", levels.l1_bytes, levels.l1_assoc)
+            for i in range(num_cores)
+        ]
+        self.l2 = [
+            SRAMCache(f"l2.{i}", levels.l2_bytes, levels.l2_assoc)
+            for i in range(num_cores)
+        ]
+        self.l3 = SRAMCache("l3", levels.l3_bytes, levels.l3_assoc)
+        self.prefetchers = (
+            [StridePrefetcher() for _ in range(num_cores)] if enable_prefetch else None
+        )
+        # Outstanding L3 misses: line -> list of (core_id, dirty, callback).
+        self._inflight: dict[int, list[tuple[int, bool, Optional[FillCallback]]]] = {}
+        self.l3_demand_misses = [0] * num_cores
+        self.l3_demand_accesses = [0] * num_cores
+        # Prefetch throttle: bounded in-flight prefetches per core.
+        self.max_prefetch_inflight = 12
+        self._pf_inflight = [0] * num_cores
+
+    # ------------------------------------------------------------------
+    # Core-facing interface
+    # ------------------------------------------------------------------
+    def load(self, core_id: int, line: int,
+             on_fill: Optional[FillCallback] = None) -> Optional[int]:
+        """Demand load. Returns the SRAM latency on a hit; on an L3 miss
+        returns None and calls ``on_fill(finish_cycle)`` later."""
+        return self._access(core_id, line, dirty=False, on_fill=on_fill)
+
+    def store(self, core_id: int, line: int,
+              on_fill: Optional[FillCallback] = None) -> Optional[int]:
+        """Demand store (write-allocate: a miss fetches the line, then
+        marks it dirty)."""
+        return self._access(core_id, line, dirty=True, on_fill=on_fill)
+
+    def _access(self, core_id: int, line: int, dirty: bool,
+                on_fill: Optional[FillCallback]) -> Optional[int]:
+        lv = self.levels
+        if self.l1[core_id].lookup(line, is_write=dirty):
+            return lv.l1_latency
+        if self.l2[core_id].lookup(line):
+            self._fill_l1(core_id, line, dirty)
+            return lv.l2_latency
+        # L2 miss: train the prefetcher on the miss stream.
+        self._train_prefetch(core_id, line)
+        self.l3_demand_accesses[core_id] += 1
+        if self.l3.lookup(line):
+            self._fill_l2(core_id, line)
+            self._fill_l1(core_id, line, dirty)
+            return lv.l3_latency
+        # L3 miss.
+        self.l3_demand_misses[core_id] += 1
+        self._request_line(core_id, line, dirty, on_fill)
+        return None
+
+    # ------------------------------------------------------------------
+    # Miss handling with MSHR-style merging
+    # ------------------------------------------------------------------
+    def _request_line(self, core_id: int, line: int, dirty: bool,
+                      on_fill: Optional[FillCallback],
+                      kind: AccessKind = AccessKind.DEMAND_READ) -> None:
+        waiters = self._inflight.get(line)
+        if waiters is not None:
+            waiters.append((core_id, dirty, on_fill))
+            return
+        self._inflight[line] = [(core_id, dirty, on_fill)]
+        self.msc.read(line, core_id,
+                      callback=lambda finish, l=line: self._line_arrived(l, finish),
+                      kind=kind)
+
+    def _line_arrived(self, line: int, finish: int) -> None:
+        waiters = self._inflight.pop(line, [])
+        any_dirty = any(d for _, d, _ in waiters)
+        self._fill_l3(line, dirty=any_dirty)
+        for core_id, dirty, callback in waiters:
+            if core_id >= 0:
+                self._fill_l2(core_id, line)
+                self._fill_l1(core_id, line, dirty)
+            if callback is not None:
+                callback(finish)
+
+    # ------------------------------------------------------------------
+    # Fill plumbing with dirty-writeback cascades
+    # ------------------------------------------------------------------
+    def _fill_l1(self, core_id: int, line: int, dirty: bool) -> None:
+        evicted = self.l1[core_id].fill(line, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self.l2[core_id].fill(evicted.line, dirty=True)
+
+    def _fill_l2(self, core_id: int, line: int) -> None:
+        evicted = self.l2[core_id].fill(line)
+        if evicted is not None and evicted.dirty:
+            ev3 = self.l3.fill(evicted.line, dirty=True)
+            if ev3 is not None and ev3.dirty:
+                self.msc.write(ev3.line, core_id)
+
+    def _fill_l3(self, line: int, dirty: bool = False) -> None:
+        evicted = self.l3.fill(line, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self.msc.write(evicted.line, core_id=-1)
+
+    # ------------------------------------------------------------------
+    # Prefetching
+    # ------------------------------------------------------------------
+    def _train_prefetch(self, core_id: int, line: int) -> None:
+        if self.prefetchers is None:
+            return
+        for target in self.prefetchers[core_id].observe(line):
+            if self._pf_inflight[core_id] >= self.max_prefetch_inflight:
+                return
+            if target < 0:
+                continue
+            if self.l2[core_id].probe(target) or self.l3.probe(target):
+                continue
+            if target in self._inflight:
+                continue
+            self._pf_inflight[core_id] += 1
+            self._request_line(
+                core_id, target, dirty=False,
+                on_fill=lambda finish, c=core_id: self._pf_done(c),
+                kind=AccessKind.PREFETCH_READ,
+            )
+
+    def _pf_done(self, core_id: int) -> None:
+        self._pf_inflight[core_id] -= 1
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def l3_mpki(self, core_id: int, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return self.l3_demand_misses[core_id] / (instructions / 1000.0)
+
+    def total_l3_misses(self) -> int:
+        return sum(self.l3_demand_misses)

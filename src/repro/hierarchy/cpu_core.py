@@ -1,0 +1,180 @@
+"""Trace-driven core with ROB-window and MSHR-limited memory parallelism.
+
+The core consumes a trace of ``(gap, is_write, line)`` tuples — ``gap``
+non-memory instructions followed by one memory instruction to 64-byte
+line ``line``. Dispatch is in order at ``width`` instructions/cycle;
+memory-level parallelism is bounded by two structural limits, which are
+what matter for a bandwidth study:
+
+- **ROB window**: instruction ``i`` cannot dispatch until the load at
+  ``i - rob_entries`` has completed (a stalled load at the ROB head
+  eventually blocks the front end);
+- **MSHRs**: at most ``mshrs`` L3 misses (loads or store RFOs) may be
+  outstanding.
+
+Loads that hit in SRAM complete at a known small latency; L3 misses
+complete when the memory-side subsystem delivers the line. The paper's
+methodology scales core buffers so streaming kernels can demand the
+combined cache+memory bandwidth; tests assert our model does the same.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.engine.event_queue import Simulator
+from repro.hierarchy.cache_hierarchy import CacheHierarchy
+
+TraceEntry = tuple[int, bool, int]  # (gap instructions, is_write, line)
+
+
+class TraceCore:
+    """One simulated core executing a memory-instruction trace."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        trace: Iterable[TraceEntry],
+        hierarchy: CacheHierarchy,
+        rob_entries: int = 224,
+        width: int = 4,
+        mshrs: int = 16,
+        on_done: Optional[Callable[["TraceCore"], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.rob_entries = rob_entries
+        self.width = width
+        self.mshrs = mshrs
+        self.on_done = on_done
+
+        self._trace: Iterator[TraceEntry] = iter(trace)
+        self._pending: Optional[TraceEntry] = None
+        self._exhausted = False
+
+        self.instr_count = 0
+        self._vtime = 0.0                 # width-limited dispatch clock
+        # In-flight loads as [instr_idx, done_cycle or None], FIFO order.
+        self._outstanding: deque[list] = deque()
+        self._misses_inflight = 0
+        self._wake_scheduled = False
+        self.done = False
+        self.finish_cycle: Optional[int] = None
+        self.loads = 0
+        self.stores = 0
+        self.l3_miss_loads = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.sim.at(self.sim.now, self._run)
+
+    @property
+    def ipc(self) -> float:
+        if not self.finish_cycle:
+            return 0.0
+        return self.instr_count / self.finish_cycle
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[TraceEntry]:
+        if self._pending is None and not self._exhausted:
+            self._pending = next(self._trace, None)
+            if self._pending is None:
+                self._exhausted = True
+        return self._pending
+
+    def _consume(self) -> None:
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        if self.done:
+            return
+        self._wake_scheduled = False
+        now = self.sim.now
+        while True:
+            entry = self._peek()
+            if entry is None:
+                self._maybe_finish(now)
+                return
+            gap, is_write, line = entry
+            idx = self.instr_count + gap
+            t = self._vtime + gap / self.width
+
+            # ROB window: retire (or stall on) loads falling out of it.
+            window_floor = idx - self.rob_entries
+            blocked = False
+            while self._outstanding and self._outstanding[0][0] <= window_floor:
+                head = self._outstanding[0]
+                if head[1] is None:
+                    blocked = True  # stalled on an in-flight miss
+                    break
+                t = max(t, head[1])
+                self._outstanding.popleft()
+            if blocked:
+                return  # the miss's fill callback wakes us
+
+            # MSHR limit: wait for any completion.
+            if self._misses_inflight >= self.mshrs:
+                return
+
+            if t > now:
+                self._schedule_wake(math.ceil(t))
+                return
+
+            # Dispatch the memory instruction now.
+            self._consume()
+            self.instr_count = idx + 1
+            self._vtime = max(t, self._vtime) + 1.0 / self.width
+
+            if is_write:
+                self.stores += 1
+                lat = self.hierarchy.store(self.core_id, line,
+                                           on_fill=self._store_fill)
+                if lat is None:
+                    self._misses_inflight += 1
+            else:
+                self.loads += 1
+                record = [idx, None]
+                lat = self.hierarchy.load(
+                    self.core_id, line,
+                    on_fill=lambda finish, rec=record: self._load_fill(rec, finish),
+                )
+                if lat is None:
+                    self.l3_miss_loads += 1
+                    self._misses_inflight += 1
+                else:
+                    record[1] = now + lat
+                self._outstanding.append(record)
+
+    # ------------------------------------------------------------------
+    def _load_fill(self, record: list, finish: int) -> None:
+        record[1] = finish
+        self._misses_inflight -= 1
+        self._schedule_wake(self.sim.now)
+
+    def _store_fill(self, finish: int) -> None:
+        self._misses_inflight -= 1
+        self._schedule_wake(self.sim.now)
+
+    def _schedule_wake(self, when: int) -> None:
+        if self._wake_scheduled or self.done:
+            return
+        self._wake_scheduled = True
+        self.sim.at(max(when, self.sim.now), self._run)
+
+    # ------------------------------------------------------------------
+    def _maybe_finish(self, now: int) -> None:
+        if any(rec[1] is None for rec in self._outstanding):
+            return  # fills pending; their callbacks wake us
+        if self._misses_inflight > 0:
+            return  # store RFOs pending
+        last_done = max((rec[1] for rec in self._outstanding), default=0)
+        self._outstanding.clear()
+        self.done = True
+        self.finish_cycle = max(now, math.ceil(self._vtime), last_done, 1)
+        if self.on_done is not None:
+            self.on_done(self)

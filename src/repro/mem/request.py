@@ -1,0 +1,112 @@
+"""Memory request representation.
+
+Every transfer that reaches a DRAM channel (demand read, fill write,
+writeback, metadata access, TAD fetch, ...) is a :class:`Request`. The
+:class:`AccessKind` tag is what lets the metrics layer compute the paper's
+CAS-fraction breakdowns (Figs. 8 and 14) without re-deriving intent from
+context.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+LINE_BYTES = 64
+LINE_SHIFT = 6
+
+_request_ids = itertools.count()
+
+
+class AccessKind(enum.Enum):
+    """Why a request exists. ``is_write`` is derived from the kind."""
+
+    DEMAND_READ = "demand_read"          # CPU-side read (L3 miss)
+    PREFETCH_READ = "prefetch_read"      # core-side stride prefetcher
+    FILL_WRITE = "fill_write"            # read-miss fill into the MS$
+    L4_WRITE = "l4_write"                # dirty L3 eviction written to the MS$
+    WRITEBACK = "writeback"              # dirty MS$ eviction written to main memory
+    EVICT_READ = "evict_read"            # reading dirty victim data out of the MS$
+    META_READ = "meta_read"              # sector metadata fetch from in-DRAM tags
+    META_WRITE = "meta_write"            # sector metadata update
+    TAD_READ = "tad_read"                # Alloy cache tag-and-data fetch
+    TAD_WRITE = "tad_write"              # Alloy cache tag-and-data write
+    SPEC_READ = "spec_read"              # SFRM speculative main-memory read
+    FOOTPRINT_READ = "footprint_read"    # footprint prefetch from main memory
+    WT_WRITE = "wt_write"                # opportunistic write-through to main memory
+
+    @property
+    def is_write(self) -> bool:
+        return self in _WRITE_KINDS
+
+
+_WRITE_KINDS = frozenset(
+    {
+        AccessKind.FILL_WRITE,
+        AccessKind.L4_WRITE,
+        AccessKind.WRITEBACK,
+        AccessKind.META_WRITE,
+        AccessKind.TAD_WRITE,
+        AccessKind.WT_WRITE,
+    }
+)
+
+
+@dataclass
+class Request:
+    """One 64-byte-granularity DRAM access.
+
+    Parameters
+    ----------
+    line:
+        64-byte line address (byte address >> 6).
+    kind:
+        The :class:`AccessKind` of the transfer.
+    core_id:
+        Originating core, or -1 for maintenance traffic with no single
+        owner.
+    on_complete:
+        Called as ``on_complete(request, finish_cycle)`` when the data
+        transfer (plus any I/O delay) finishes. Writes usually pass None.
+    burst_override:
+        Data-bus occupancy in *device* cycles, overriding the channel's
+        default 64-byte burst. The Alloy cache uses this for its 72-byte
+        TAD transfers (3 cycles instead of 2 on HBM).
+    """
+
+    line: int
+    kind: AccessKind
+    core_id: int = -1
+    on_complete: Optional[Callable[["Request", int], None]] = None
+    burst_override: Optional[int] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+    issue_cycle: int = -1
+    start_cycle: int = -1
+    finish_cycle: int = -1
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.is_write
+
+    @property
+    def byte_addr(self) -> int:
+        return self.line << LINE_SHIFT
+
+    def queue_latency(self) -> int:
+        """Cycles spent waiting before service began (after completion)."""
+        if self.start_cycle < 0 or self.issue_cycle < 0:
+            return 0
+        return self.start_cycle - self.issue_cycle
+
+    def total_latency(self) -> int:
+        """Issue-to-finish latency in CPU cycles (after completion)."""
+        if self.finish_cycle < 0 or self.issue_cycle < 0:
+            return 0
+        return self.finish_cycle - self.issue_cycle
+
+
+def line_of(byte_addr: int) -> int:
+    """64-byte line address of a byte address."""
+    return byte_addr >> LINE_SHIFT

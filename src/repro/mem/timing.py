@@ -1,0 +1,79 @@
+"""DRAM timing parameters.
+
+Timings are given in device (command-clock) cycles, exactly as the paper
+states them (e.g. DDR4-2400 15-15-15-39 at 1.2 GHz). Conversion to CPU
+cycles happens once at channel construction through
+:class:`repro.engine.clock.ClockDomain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """tCAS-tRCD-tRP-tRAS plus bus/turnaround parameters.
+
+    Attributes
+    ----------
+    t_cas, t_rcd, t_rp, t_ras:
+        The classic latency quad in device cycles.
+    burst:
+        Device cycles the data bus is occupied by one 64-byte transfer
+        (4 for an 8-byte-wide DDR4 channel with BL8, 2 for a 16-byte HBM
+        channel with BL4).
+    turnaround:
+        Extra device cycles charged when the channel switches between
+        read and write service (write-induced interference). Zero for
+        eDRAM-style separate read/write channels.
+    extra_io:
+        Fixed additional device cycles per access (board/floorplan I/O
+        delay; the paper charges ten 1.2 GHz cycles on main memory).
+    t_refi, t_rfc:
+        Refresh interval and refresh cycle time in device cycles;
+        ``t_refi == 0`` disables refresh (the paper's evaluation does not
+        model it; enable via :meth:`with_refresh` for fidelity studies —
+        DDR4's tREFI=7.8us / tRFC~350ns costs ~4-5% bandwidth).
+    """
+
+    t_cas: int
+    t_rcd: int
+    t_rp: int
+    t_ras: int
+    burst: int
+    turnaround: int = 8
+    extra_io: int = 0
+    t_refi: int = 0
+    t_rfc: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("t_cas", "t_rcd", "t_rp", "t_ras", "burst"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.turnaround < 0 or self.extra_io < 0:
+            raise ConfigError("turnaround and extra_io must be non-negative")
+        if self.t_refi < 0 or self.t_rfc < 0:
+            raise ConfigError("refresh timings must be non-negative")
+        if self.t_refi and self.t_rfc >= self.t_refi:
+            raise ConfigError("t_rfc must be smaller than t_refi")
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Command-to-data latency for a row-buffer hit (device cycles)."""
+        return self.t_cas
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Precharge + activate + CAS latency for a row-buffer miss."""
+        return self.t_rp + self.t_rcd + self.t_cas
+
+    def with_extra_io(self, extra_io: int) -> "DramTiming":
+        """Copy of these timings with a different fixed I/O delay."""
+        return replace(self, extra_io=extra_io)
+
+    def with_refresh(self, t_refi: int, t_rfc: int) -> "DramTiming":
+        """Copy of these timings with refresh enabled."""
+        return replace(self, t_refi=t_refi, t_rfc=t_rfc)

@@ -1,0 +1,75 @@
+"""Human-readable run reports.
+
+Turns a finished :class:`~repro.hierarchy.system.System` into the
+diagnostic a performance engineer wants after a run: per-core IPC/MPKI,
+CAS breakdown by traffic kind on every device, device utilizations, and
+the policy's decision summary.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.system import System
+from repro.mem.device import MemoryDevice
+from repro.mem.request import AccessKind
+from repro.metrics.stats import collect_result
+
+
+def _device_section(name: str, device: MemoryDevice) -> list[str]:
+    lines = [f"  {name}: peak {device.peak_gbps:.1f} GB/s, "
+             f"delivered {device.delivered_gbps():.1f} GB/s, "
+             f"bus util {device.utilization():.1%}, "
+             f"row hits {device.row_hit_rate():.1%}"]
+    by_kind = device.cas_by_kind()
+    total = sum(by_kind.values()) or 1
+    for kind in AccessKind:
+        count = by_kind.get(kind, 0)
+        if count:
+            lines.append(f"    {kind.value:16s} {count:10d}  ({count / total:.1%})")
+    return lines
+
+
+def run_report(system: System) -> str:
+    """Render a multi-section report for a completed run."""
+    result = collect_result(system)
+    msc = system.msc
+    lines: list[str] = []
+    lines.append(f"=== run report: policy={result.policy}, "
+                 f"{system.config.num_cores} cores, {result.cycles} cycles ===")
+
+    lines.append("")
+    lines.append("cores:")
+    lines.append(f"  {'core':>4s} {'instr':>10s} {'ipc':>7s} {'l3_mpki':>8s}")
+    for core in system.cores:
+        mpki = system.hierarchy.l3_mpki(core.core_id, core.instr_count)
+        lines.append(f"  {core.core_id:4d} {core.instr_count:10d} "
+                     f"{core.ipc:7.3f} {mpki:8.1f}")
+    lines.append(f"  mean IPC {result.mean_ipc:.3f}, mean MPKI "
+                 f"{result.mean_mpki:.1f}")
+
+    lines.append("")
+    lines.append("memory-side cache:")
+    lines.append(f"  served hit rate {result.served_hit_rate:.1%} "
+                 f"(array {result.array_hit_rate:.1%})")
+    if result.tag_cache_miss_rate is not None:
+        lines.append(f"  tag-cache miss rate {result.tag_cache_miss_rate:.1%}")
+    lines.append(f"  avg L3 read-miss latency {result.avg_read_latency:.0f} cycles")
+    lines.append(f"  MM CAS fraction {result.mm_cas_fraction:.3f} "
+                 "(optimum 0.273 on the default platform)")
+
+    lines.append("")
+    lines.append("devices:")
+    lines.extend(_device_section("cache", msc.cache_dev))
+    write_dev = getattr(msc, "cache_write_dev", None)
+    if write_dev is not None:
+        lines.extend(_device_section("cache-write", write_dev))
+    lines.extend(_device_section("main-memory", msc.mm_dev))
+
+    if result.dap_decisions:
+        lines.append("")
+        total = sum(result.dap_decisions.values()) or 1
+        decisions = ", ".join(
+            f"{k}={v} ({v / total:.0%})" for k, v in result.dap_decisions.items()
+        )
+        lines.append(f"dap decisions: {decisions}")
+
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Access-steering policies.
+
+A :class:`~repro.policies.base.SteeringPolicy` plugs into a memory-side
+cache controller and decides, per access, whether to redirect traffic
+between the cache and main memory. Implementations:
+
+- :mod:`repro.policies.base` — the no-op baseline (traditional
+  hit-rate-maximizing operation) and the hook protocol;
+- :mod:`repro.policies.dap` — adapters wiring the paper's DAP engines
+  (:mod:`repro.core`) into the controllers;
+- :mod:`repro.policies.sbd` — Self-Balancing Dispatch (Sim et al.,
+  MICRO 2012) and its SBD-WT variant;
+- :mod:`repro.policies.batman` — BATMAN set-disabling toward a target
+  hit rate (Chou et al., 2015);
+- :mod:`repro.policies.bear` — BEAR-style fill bypass for the Alloy
+  cache (Chou et al., ISCA 2015).
+"""
+
+from repro.policies.base import SteeringPolicy, BaselinePolicy
+from repro.policies.dap import (DapSectoredPolicy, DapAlloyPolicy,
+                                DapEdramPolicy, ThreadAwareDapPolicy)
+from repro.policies.sbd import SbdPolicy
+from repro.policies.batman import BatmanPolicy
+from repro.policies.bear import BearFillPolicy
+
+__all__ = [
+    "SteeringPolicy",
+    "BaselinePolicy",
+    "DapSectoredPolicy",
+    "DapAlloyPolicy",
+    "DapEdramPolicy",
+    "ThreadAwareDapPolicy",
+    "SbdPolicy",
+    "BatmanPolicy",
+    "BearFillPolicy",
+]

@@ -1,0 +1,110 @@
+"""Steering-policy protocol and the no-op baseline.
+
+Controllers consult the policy at each decision point; the default
+answers reproduce a traditional memory-side cache that never partitions.
+Policies also receive demand-recording callbacks (``note_*``) so
+window-based learners (DAP) can observe per-window demand, and lifecycle
+hooks (``on_read``/``on_write``/``tick``) for heuristic policies
+(SBD's dirty list, BATMAN's epochs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hierarchy.msc_base import MscController
+
+
+class SteeringPolicy:
+    """Base policy: never partitions; all hooks are no-ops.
+
+    Subclasses override the decision hooks they implement. A policy is
+    bound to exactly one controller, which exposes queue depths, array
+    state and maintenance services (see
+    :class:`repro.hierarchy.msc_base.MscController`).
+    """
+
+    name = "baseline"
+
+    def __init__(self) -> None:
+        self.controller: Optional["MscController"] = None
+
+    def bind(self, controller: "MscController") -> None:
+        self.controller = controller
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        """Called on every access entering the controller."""
+
+    def on_read(self, now: int, line: int, core_id: int = -1) -> None:
+        """A demand read arrived (before any steering decision)."""
+
+    def on_write(self, now: int, line: int) -> None:
+        """A demand write (dirty L3 eviction) arrived."""
+
+    # ------------------------------------------------------------------
+    # Steering decisions
+    # ------------------------------------------------------------------
+    def bypass_fill(self, now: int, line: int) -> bool:
+        """Drop the fill write of a read miss (FWB)."""
+        return False
+
+    def bypass_write(self, now: int, line: int) -> bool:
+        """Steer a dirty L3 eviction to main memory instead (WB)."""
+        return False
+
+    def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
+        """Serve a known-clean read hit from main memory (IFRM)."""
+        return False
+
+    def speculative_read(self, now: int, line: int) -> bool:
+        """Issue a main-memory read before the tag outcome is known
+        (SFRM); only meaningful when metadata lives in the cache DRAM."""
+        return False
+
+    def write_through(self, now: int, line: int) -> bool:
+        """Additionally copy a cache write to main memory, keeping the
+        block clean (SBD's mostly-clean mode, DAP-Alloy's WT)."""
+        return False
+
+    def steer_clean_read(self, now: int, line: int) -> bool:
+        """SBD-style latency steering of a read known to be safe to
+        serve from either source."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Demand recording (window learners)
+    # ------------------------------------------------------------------
+    def note_ms_access(self, count: int = 1) -> None:
+        pass
+
+    def note_ms_read(self, count: int = 1) -> None:
+        pass
+
+    def note_ms_write(self, count: int = 1) -> None:
+        pass
+
+    def note_mm_access(self, count: int = 1) -> None:
+        pass
+
+    def note_read_miss(self) -> None:
+        pass
+
+    def note_write(self) -> None:
+        pass
+
+    def note_clean_hit(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return self.name
+
+
+class BaselinePolicy(SteeringPolicy):
+    """Explicit alias for the traditional no-partitioning baseline."""
+
+    name = "baseline"

@@ -1,0 +1,105 @@
+"""BATMAN: bandwidth-aware tiered-memory management (Section VI-A4).
+
+BATMAN observes the cache hit rate over an epoch and compares it with a
+*target* dictated by the bandwidth ratio,
+``target = B_cache / (B_cache + B_MM)``. When the cache runs hotter than
+the target, BATMAN disables cache sets so a fraction of accesses are
+forced to main memory; when it runs colder, sets are re-enabled.
+Disabling a set flushes its dirty blocks to main memory.
+
+The paper's critique — reproduced by this implementation — is that set
+disabling is coarse: disabled sets may not intersect the hot region, a
+fluctuating working set pays cold-set warmup, and disabling triggers on
+hit rate even when the cache has bandwidth to spare.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import SteeringPolicy
+
+
+class BatmanPolicy(SteeringPolicy):
+    """Epoch-driven set disabling toward the bandwidth-ratio hit target."""
+
+    name = "batman"
+
+    def __init__(
+        self,
+        epoch_cycles: int = 200_000,
+        margin: float = 0.02,
+        step_fraction: float = 0.05,
+        max_disabled_fraction: float = 0.75,
+    ) -> None:
+        super().__init__()
+        self.epoch_cycles = epoch_cycles
+        self.margin = margin
+        self.step_fraction = step_fraction
+        self.max_disabled_fraction = max_disabled_fraction
+        self._last_epoch = 0
+        self._last_hits = 0
+        self._last_total = 0
+        self._disabled: list[int] = []
+        self._next_set_to_disable = 0
+        self.target_hit_rate = 0.0
+        self.epochs = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, controller) -> None:
+        super().bind(controller)
+        b_cache = controller.cache_dev.peak_gbps
+        b_mm = controller.mm_dev.peak_gbps
+        self.target_hit_rate = b_cache / (b_cache + b_mm)
+
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if now - self._last_epoch < self.epoch_cycles:
+            return
+        self._last_epoch = now
+        self.epochs += 1
+        self._adjust()
+
+    def _epoch_hit_rate(self) -> float | None:
+        controller = self.controller
+        hits = controller.served_hits
+        total = controller.served_hits + controller.served_misses
+        d_hits = hits - self._last_hits
+        d_total = total - self._last_total
+        self._last_hits, self._last_total = hits, total
+        if d_total < 100:  # too little traffic to act on
+            return None
+        return d_hits / d_total
+
+    def _adjust(self) -> None:
+        rate = self._epoch_hit_rate()
+        if rate is None:
+            return
+        array = self.controller.array
+        step = max(1, int(array.num_sets * self.step_fraction))
+        if rate > self.target_hit_rate + self.margin:
+            self._disable_sets(step)
+        elif rate < self.target_hit_rate - self.margin and self._disabled:
+            self._enable_sets(step)
+
+    def _disable_sets(self, count: int) -> None:
+        array = self.controller.array
+        limit = int(array.num_sets * self.max_disabled_fraction)
+        for _ in range(count):
+            if len(self._disabled) >= limit:
+                return
+            set_index = self._next_set_to_disable % array.num_sets
+            self._next_set_to_disable += 1
+            dirty_lines = array.disable_set(set_index)
+            self._disabled.append(set_index)
+            if dirty_lines:
+                # Flushing a disabled set costs cache reads + MM writes.
+                self.controller.writeback_lines(dirty_lines)
+
+    def _enable_sets(self, count: int) -> None:
+        array = self.controller.array
+        for _ in range(min(count, len(self._disabled))):
+            array.enable_set(self._disabled.pop())
+
+    # ------------------------------------------------------------------
+    @property
+    def disabled_sets(self) -> int:
+        return len(self._disabled)

@@ -1,0 +1,62 @@
+"""BEAR-style fill bypass for the Alloy cache (Chou et al., ISCA 2015).
+
+BEAR reduces the Alloy cache's bandwidth bloat. Two of its techniques
+are part of our Alloy *baseline* already (the L3 presence bit that
+skips TAD fetches for writes, and early miss handling); this policy adds
+the third: **bandwidth-aware fill bypass**, implemented as set dueling
+between always-fill and always-bypass leader sets. Unlike DAP's FWB,
+BEAR bypasses to protect hit rate (dead fills), not to balance
+bandwidth — the distinction Fig. 14 quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import SteeringPolicy
+
+LEADER_MODULUS = 64
+PSEL_MAX = 1023
+
+
+class BearFillPolicy(SteeringPolicy):
+    """Set-dueling fill bypass: followers adopt the winning leader."""
+
+    name = "bear"
+
+    def __init__(self, leader_modulus: int = LEADER_MODULUS) -> None:
+        super().__init__()
+        self.leader_modulus = leader_modulus
+        self._psel = PSEL_MAX // 2  # high = bypass causing more misses
+        self.bypassed_fills = 0
+
+    # ------------------------------------------------------------------
+    def _group(self, line: int) -> int:
+        array = self.controller.array
+        return array.set_index(line) % self.leader_modulus
+
+    def on_read(self, now: int, line: int, core_id: int = -1) -> None:
+        """Train the duel: misses in leader sets move PSEL."""
+        if self.controller is None:
+            return
+        group = self._group(line)
+        if group not in (0, 1):
+            return
+        hit = self.controller.array.probe(line)
+        if hit:
+            return
+        if group == 0:      # fill-leader missed
+            self._psel = max(0, self._psel - 1)
+        else:               # bypass-leader missed
+            self._psel = min(PSEL_MAX, self._psel + 1)
+
+    def bypass_fill(self, now: int, line: int) -> bool:
+        group = self._group(line)
+        if group == 0:
+            return False     # always-fill leader
+        if group == 1:
+            self.bypassed_fills += 1
+            return True      # always-bypass leader
+        # Followers: bypass while bypassing is not hurting (PSEL low).
+        if self._psel < PSEL_MAX // 2:
+            self.bypassed_fills += 1
+            return True
+        return False

@@ -1,0 +1,206 @@
+"""Policy adapters wiring the DAP engines into the controllers."""
+
+from __future__ import annotations
+
+from repro.core.dap_alloy import DapAlloy
+from repro.core.dap_edram import DapEdram
+from repro.core.dap_sectored import DapSectored
+from repro.policies.base import SteeringPolicy
+
+
+class DapSectoredPolicy(SteeringPolicy):
+    """DAP on a sectored DRAM cache (FWB + WB + IFRM + SFRM)."""
+
+    name = "dap"
+
+    def __init__(
+        self,
+        b_ms: float,
+        b_mm: float,
+        window: int = 64,
+        efficiency: float = 0.75,
+        enable_sfrm: bool = True,
+        enable_ifrm: bool = True,
+        enable_wb: bool = True,
+    ) -> None:
+        super().__init__()
+        self.engine = DapSectored(
+            b_ms=b_ms, b_mm=b_mm, window=window, efficiency=efficiency,
+            enable_sfrm=enable_sfrm,
+        )
+        self.enable_ifrm = enable_ifrm
+        self.enable_wb = enable_wb
+
+    # Decisions ---------------------------------------------------------
+    def bypass_fill(self, now: int, line: int) -> bool:
+        return self.engine.allow_fill_bypass(now)
+
+    def bypass_write(self, now: int, line: int) -> bool:
+        if not self.enable_wb:
+            return False
+        return self.engine.allow_write_bypass(now)
+
+    def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
+        if not self.enable_ifrm:
+            return False
+        return self.engine.allow_forced_miss(now)
+
+    def speculative_read(self, now: int, line: int) -> bool:
+        return self.engine.allow_speculative_read(now)
+
+    # Demand recording ----------------------------------------------------
+    def note_ms_access(self, count: int = 1) -> None:
+        self.engine.note_ms_access(count)
+
+    def note_mm_access(self, count: int = 1) -> None:
+        self.engine.note_mm_access(count)
+
+    def note_read_miss(self) -> None:
+        self.engine.note_read_miss()
+
+    def note_write(self) -> None:
+        self.engine.note_write()
+
+    def note_clean_hit(self) -> None:
+        self.engine.note_clean_hit()
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.engine.decisions.items())
+        return f"dap({parts})"
+
+
+class ThreadAwareDapPolicy(DapSectoredPolicy):
+    """DAP with thread-aware IFRM (the paper's suggested refinement).
+
+    "A thread-aware IFRM policy would prioritize the clean hits of the
+    latency-insensitive threads before the latency-sensitive ones for
+    bypassing to the main memory" (Section IV-A). Latency sensitivity is
+    learned online: cores issuing many memory-side reads per epoch are
+    bandwidth-bound (they overlap misses, tolerating extra latency);
+    cores issuing few are latency-bound. IFRM credits are granted freely
+    to insensitive cores, but a latency-sensitive core only takes a
+    credit while the budget is still plentiful.
+    """
+
+    name = "dap-ta"
+
+    def __init__(self, *args, epoch_cycles: int = 50_000, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.epoch_cycles = epoch_cycles
+        self._reads_by_core: dict[int, int] = {}
+        self._insensitive: set[int] = set()
+        self._last_epoch = 0
+        self.deferred_ifrm = 0
+
+    def on_read(self, now: int, line: int, core_id: int = -1) -> None:
+        if core_id >= 0:
+            self._reads_by_core[core_id] = self._reads_by_core.get(core_id, 0) + 1
+        if now - self._last_epoch >= self.epoch_cycles:
+            self._last_epoch = now
+            self._reclassify()
+
+    def _reclassify(self) -> None:
+        """Cores above the median read rate are latency-insensitive."""
+        if not self._reads_by_core:
+            return
+        counts = sorted(self._reads_by_core.values())
+        median = counts[len(counts) // 2]
+        self._insensitive = {
+            core for core, count in self._reads_by_core.items()
+            if count >= median
+        }
+        self._reads_by_core.clear()
+
+    def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
+        if not self.enable_ifrm:
+            return False
+        engine = self.engine
+        engine.tick(now)
+        if core_id >= 0 and self._insensitive and core_id not in self._insensitive:
+            # A latency-sensitive thread: only spend abundant credits.
+            if engine._ifrm.value < engine._ifrm.max_value * 0.25:
+                self.deferred_ifrm += 1
+                return False
+        return engine.allow_forced_miss(now)
+
+
+class DapAlloyPolicy(SteeringPolicy):
+    """DAP on the Alloy cache (DBC-gated IFRM + opportunistic WT)."""
+
+    name = "dap-alloy"
+
+    def __init__(
+        self,
+        b_ms: float,
+        b_mm: float,
+        window: int = 64,
+        efficiency: float = 0.75,
+    ) -> None:
+        super().__init__()
+        self.engine = DapAlloy(b_ms=b_ms, b_mm=b_mm, window=window,
+                               efficiency=efficiency)
+
+    def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
+        return self.engine.allow_forced_miss(now)
+
+    def write_through(self, now: int, line: int) -> bool:
+        return self.engine.allow_write_through(now)
+
+    def note_ms_access(self, count: int = 1) -> None:
+        self.engine.note_ms_access(count)
+
+    def note_mm_access(self, count: int = 1) -> None:
+        self.engine.note_mm_access(count)
+
+    def note_read_miss(self) -> None:
+        self.engine.note_read_miss()
+
+    def note_write(self) -> None:
+        self.engine.note_write()
+
+    def note_clean_hit(self) -> None:
+        self.engine.note_clean_hit()
+
+
+class DapEdramPolicy(SteeringPolicy):
+    """DAP on the three-source sectored eDRAM cache."""
+
+    name = "dap-edram"
+
+    def __init__(
+        self,
+        b_ms: float,
+        b_mm: float,
+        window: int = 64,
+        efficiency: float = 0.75,
+    ) -> None:
+        super().__init__()
+        self.engine = DapEdram(b_ms=b_ms, b_mm=b_mm, window=window,
+                               efficiency=efficiency)
+
+    def bypass_fill(self, now: int, line: int) -> bool:
+        return self.engine.allow_fill_bypass(now)
+
+    def bypass_write(self, now: int, line: int) -> bool:
+        return self.engine.allow_write_bypass(now)
+
+    def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
+        return self.engine.allow_forced_miss(now)
+
+    def note_ms_read(self, count: int = 1) -> None:
+        self.engine.note_ms_read(count)
+
+    def note_ms_write(self, count: int = 1) -> None:
+        self.engine.note_ms_write(count)
+
+    def note_mm_access(self, count: int = 1) -> None:
+        self.engine.note_mm_access(count)
+
+    def note_read_miss(self) -> None:
+        self.engine.note_read_miss()
+
+    def note_write(self) -> None:
+        self.engine.note_write()
+
+    def note_clean_hit(self) -> None:
+        self.engine.note_clean_hit()

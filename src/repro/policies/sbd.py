@@ -1,0 +1,125 @@
+"""Self-Balancing Dispatch (SBD), Sim et al., MICRO 2012 (Section VI-A4).
+
+SBD steers predicted-hit reads to whichever source (DRAM cache or main
+memory) has the lower *expected latency* (queue occupancy times service
+time). Steering a read to main memory is only safe when the block cannot
+be dirty in the cache, so SBD keeps most pages in write-through
+("mostly-clean") mode and tracks the heavily-written pages in a Dirty
+List (a bank of counting Bloom filters in hardware; an exact counter map
+here — a modeling strengthening that only helps SBD). Reads to Dirty
+List pages always go to the cache.
+
+When a page falls out of the Dirty List it must be *cleaned*: its dirty
+blocks are read from the cache and written to main memory. The paper
+identifies this forced cleaning as SBD's main cost on large caches; the
+``SBD-WT`` variant (``force_cleaning=False``) drops it and relies on
+write-through alone, trading steering opportunities for less traffic.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import SteeringPolicy
+
+PAGE_LINES = 64  # 4 KB pages of 64-byte lines
+
+
+class SbdPolicy(SteeringPolicy):
+    """SBD / SBD-WT steering for sectored DRAM caches."""
+
+    def __init__(
+        self,
+        dirty_threshold: int = 8,
+        epoch_cycles: int = 100_000,
+        force_cleaning: bool = True,
+    ) -> None:
+        super().__init__()
+        self.name = "sbd" if force_cleaning else "sbd-wt"
+        self.dirty_threshold = dirty_threshold
+        self.epoch_cycles = epoch_cycles
+        self.force_cleaning = force_cleaning
+        self._write_counts: dict[int, int] = {}
+        self._dirty_pages: set[int] = set()
+        self._last_epoch = 0
+        self.steered_reads = 0
+        self.cleanings = 0
+        self.cleaned_lines = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _page(line: int) -> int:
+        return line // PAGE_LINES
+
+    def in_dirty_list(self, line: int) -> bool:
+        return self._page(line) in self._dirty_pages
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if now - self._last_epoch < self.epoch_cycles:
+            return
+        self._last_epoch = now
+        self._decay()
+
+    def _decay(self) -> None:
+        """Halve all write counters; clean pages leaving the Dirty List."""
+        dropped: list[int] = []
+        for page in list(self._write_counts):
+            count = self._write_counts[page] >> 1
+            if count == 0:
+                del self._write_counts[page]
+            else:
+                self._write_counts[page] = count
+            if page in self._dirty_pages and count < self.dirty_threshold:
+                self._dirty_pages.discard(page)
+                dropped.append(page)
+        if self.force_cleaning:
+            for page in dropped:
+                self._clean_page(page)
+
+    def _clean_page(self, page: int) -> None:
+        """Read the page's dirty blocks out of the cache, write them to
+        main memory, and mark them clean."""
+        controller = self.controller
+        array = getattr(controller, "array", None)
+        if array is None:
+            return
+        base = page * PAGE_LINES
+        dirty_lines = [
+            base + i for i in range(PAGE_LINES) if array.is_block_dirty(base + i)
+        ]
+        if not dirty_lines:
+            return
+        self.cleanings += 1
+        self.cleaned_lines += len(dirty_lines)
+        for line in dirty_lines:
+            array.clean_block(line)
+        controller.writeback_lines(dirty_lines)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def on_write(self, now: int, line: int) -> None:
+        page = self._page(line)
+        count = self._write_counts.get(page, 0) + 1
+        self._write_counts[page] = count
+        if count >= self.dirty_threshold:
+            self._dirty_pages.add(page)
+
+    def write_through(self, now: int, line: int) -> bool:
+        """Non-Dirty-List pages operate write-through (mostly clean)."""
+        return not self.in_dirty_list(line)
+
+    def steer_clean_read(self, now: int, line: int) -> bool:
+        """Steer a clean hit to main memory when it looks faster."""
+        if self.in_dirty_list(line):
+            return False
+        controller = self.controller
+        if controller is None:
+            return False
+        mm = controller.mm_read_latency_estimate(line)
+        cache = controller.cache_read_latency_estimate(line)
+        if mm < cache:
+            self.steered_reads += 1
+            return True
+        return False

@@ -1,0 +1,37 @@
+"""Synthetic workload substrate.
+
+The paper evaluates 1-billion-instruction snippets of SPEC CPU 2006,
+HPCG and Parboil; those binaries and traces cannot ship with an
+open-source reproduction, so :mod:`repro.workloads.profiles` defines
+seventeen parameterized generators that reproduce the characteristics
+the paper's results depend on: L3 MPKI band, bandwidth sensitivity,
+read/write mix, footprint, and sector/tag-cache locality.
+
+:mod:`repro.workloads.mixes` builds the paper's 44 multi-programmed
+mixes (17 rate-8 homogeneous + 27 heterogeneous);
+:mod:`repro.workloads.kernels` provides the Fig. 1 read-bandwidth
+kernel.
+"""
+
+from repro.workloads.synthetic import AccessMix, WorkloadProfile, generate_trace
+from repro.workloads.profiles import (
+    PROFILES,
+    BANDWIDTH_SENSITIVE,
+    BANDWIDTH_INSENSITIVE,
+    get_profile,
+)
+from repro.workloads.mixes import rate_mix, heterogeneous_mixes, all_mixes, Mix
+
+__all__ = [
+    "AccessMix",
+    "WorkloadProfile",
+    "generate_trace",
+    "PROFILES",
+    "BANDWIDTH_SENSITIVE",
+    "BANDWIDTH_INSENSITIVE",
+    "get_profile",
+    "rate_mix",
+    "heterogeneous_mixes",
+    "all_mixes",
+    "Mix",
+]

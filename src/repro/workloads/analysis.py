@@ -1,0 +1,100 @@
+"""Closed-form workload expectations.
+
+The profile parameters predict the headline characteristics in closed
+form; these helpers expose the arithmetic used to tune the seventeen
+profiles and let users sanity-check a custom profile before burning
+simulation time:
+
+- expected L3 MPKI  ≈ ``mem_per_kilo * (1 - local)``
+  (every non-local class misses the scaled L3);
+- expected MS$ hit rate ≈ ``1 - fresh / (1 - local)``
+  (fresh is the only class outside the warm set);
+- warm-set size and sector demand, to check capacity budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.profiles import PROFILES
+from repro.workloads.synthetic import (
+    SECTOR_LINES,
+    WorkloadProfile,
+    _layout,
+)
+
+
+@dataclass(frozen=True)
+class ProfileExpectations:
+    """Predicted characteristics of one profile at a given scale."""
+
+    name: str
+    expected_mpki: float
+    expected_hit_rate: float
+    warm_lines: int
+    warm_sectors: int
+    warm_mb: float
+    write_fraction: float
+    bandwidth_sensitive: bool
+
+
+def analyze_profile(profile: WorkloadProfile,
+                    scale: float = 1.0) -> ProfileExpectations:
+    """Closed-form expectations for one profile."""
+    mix = profile.mix
+    non_local = 1.0 - mix.local
+    expected_mpki = profile.mem_per_kilo * non_local
+    expected_hit = 1.0 - (mix.fresh / non_local if non_local > 0 else 0.0)
+
+    regions = _layout(profile, scale)
+    warm_lines = (regions.stream_lines + regions.hot_lines
+                  + regions.sparse_regions)
+    # Sector demand: dense regions fill sectors; each sparse region costs
+    # a whole sector for one line.
+    dense_sectors = (regions.stream_lines + regions.hot_lines) // SECTOR_LINES
+    warm_sectors = dense_sectors + regions.sparse_regions
+    return ProfileExpectations(
+        name=profile.name,
+        expected_mpki=expected_mpki,
+        expected_hit_rate=expected_hit,
+        warm_lines=warm_lines,
+        warm_sectors=warm_sectors,
+        warm_mb=warm_sectors * SECTOR_LINES * 64 / (1 << 20),
+        write_fraction=profile.write_fraction,
+        bandwidth_sensitive=profile.bandwidth_sensitive,
+    )
+
+
+def catalog_expectations(scale: float = 1.0) -> list[ProfileExpectations]:
+    """Expectations for every named profile, sorted by name."""
+    return [analyze_profile(p, scale) for _, p in sorted(PROFILES.items())]
+
+
+def sector_budget_ok(num_copies: int, capacity_bytes: int,
+                     sector_bytes: int, assoc: int,
+                     scale: float = 1.0,
+                     headroom: float = 0.95) -> dict[str, bool]:
+    """Check each profile's rate-N warm set against a cache's sector
+    capacity (the constraint that broke early tunings: sparse regions
+    consume a whole sector per line)."""
+    total_sectors = capacity_bytes // sector_bytes
+    verdicts = {}
+    for exp in catalog_expectations(scale):
+        demand = exp.warm_sectors * num_copies
+        verdicts[exp.name] = demand <= total_sectors * headroom
+    return verdicts
+
+
+def print_catalog(scale: float = 1.0) -> None:
+    """Dump the tuning table (used during profile calibration)."""
+    print(f"{'profile':16s} {'mpki':>6s} {'hit%':>6s} {'warmMB':>7s} "
+          f"{'sectors':>8s} {'wf':>5s} {'class':>11s}")
+    for exp in catalog_expectations(scale):
+        cls = "sensitive" if exp.bandwidth_sensitive else "insensitive"
+        print(f"{exp.name:16s} {exp.expected_mpki:6.1f} "
+              f"{exp.expected_hit_rate * 100:6.1f} {exp.warm_mb:7.1f} "
+              f"{exp.warm_sectors:8d} {exp.write_fraction:5.2f} {cls:>11s}")
+
+
+if __name__ == "__main__":
+    print_catalog()

@@ -1,0 +1,87 @@
+"""Trace file I/O.
+
+Lets users persist generated traces or bring their own (e.g. converted
+from pin/DynamoRIO/perf dumps). The format is one record per line::
+
+    <gap> <R|W> <hex line address>
+
+Lines starting with ``#`` are comments. Files ending in ``.gz`` are
+transparently compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from typing import IO, Iterable, Iterator
+
+from repro.errors import WorkloadError
+from repro.hierarchy.cpu_core import TraceEntry
+
+
+def _open(path: str, mode: str) -> IO[str]:
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def write_trace(path: str, entries: Iterable[TraceEntry],
+                header: str = "") -> int:
+    """Write a trace; returns the number of records written."""
+    count = 0
+    with _open(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for gap, is_write, line in entries:
+            handle.write(f"{gap} {'W' if is_write else 'R'} {line:x}\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str) -> Iterator[TraceEntry]:
+    """Stream a trace file back as ``(gap, is_write, line)`` tuples."""
+    if not os.path.exists(path):
+        raise WorkloadError(f"trace file not found: {path}")
+    with _open(path, "r") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) != 3 or parts[1] not in ("R", "W"):
+                raise WorkloadError(
+                    f"{path}:{lineno}: malformed record {text!r} "
+                    "(expected '<gap> <R|W> <hexline>')"
+                )
+            try:
+                gap = int(parts[0])
+                line = int(parts[2], 16)
+            except ValueError as exc:
+                raise WorkloadError(f"{path}:{lineno}: {exc}") from None
+            if gap < 0 or line < 0:
+                raise WorkloadError(
+                    f"{path}:{lineno}: gap and address must be non-negative"
+                )
+            yield gap, parts[1] == "W", line
+
+
+def trace_summary(path: str) -> dict[str, float]:
+    """Cheap one-pass statistics over a trace file."""
+    refs = writes = 0
+    instructions = 0
+    lines = set()
+    for gap, is_write, line in read_trace(path):
+        refs += 1
+        writes += is_write
+        instructions += gap + 1
+        lines.add(line)
+    return {
+        "refs": refs,
+        "writes": writes,
+        "write_fraction": writes / refs if refs else 0.0,
+        "instructions": instructions,
+        "mem_per_kilo": refs / instructions * 1000 if instructions else 0.0,
+        "footprint_lines": len(lines),
+        "footprint_mb": len(lines) * 64 / (1 << 20),
+    }

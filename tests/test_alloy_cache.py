@@ -1,0 +1,105 @@
+"""Tests for the Alloy cache array and its dirty-bit cache."""
+
+from repro.cache.alloy import TAD_BURST_DEVICE_CYCLES, AlloyCacheArray
+from repro.cache.dbc import DirtyBitCache
+
+
+def make_alloy(sets=64):
+    return AlloyCacheArray("alloy", capacity_bytes=sets * 64)
+
+
+def test_direct_mapped_conflicts():
+    arr = make_alloy(sets=4)
+    assert arr.fill(0) is None
+    evicted = arr.fill(4)  # same set as line 0
+    assert evicted is not None and evicted.line == 0
+    assert arr.probe(4) and not arr.probe(0)
+
+
+def test_read_write_stats():
+    arr = make_alloy()
+    arr.fill(1)
+    assert arr.read(1)
+    assert not arr.read(2)
+    assert arr.write(1)
+    assert not arr.write(3)
+    assert arr.read_hits == 1 and arr.read_misses == 1
+    assert arr.write_hits == 1 and arr.write_misses == 1
+
+
+def test_write_hit_sets_dirty():
+    arr = make_alloy()
+    arr.fill(1)
+    arr.write(1)
+    assert arr.is_dirty(1)
+    assert arr.set_is_dirty(arr.set_index(1))
+
+
+def test_eviction_carries_dirty():
+    arr = make_alloy(sets=2)
+    arr.fill(0, dirty=True)
+    evicted = arr.fill(2)
+    assert evicted.line == 0 and evicted.dirty
+
+
+def test_refill_merges_dirty():
+    arr = make_alloy()
+    arr.fill(5, dirty=True)
+    assert arr.fill(5, dirty=False) is None
+    assert arr.is_dirty(5)
+
+
+def test_invalidate_and_clean():
+    arr = make_alloy()
+    arr.fill(9, dirty=True)
+    arr.clean(9)
+    assert not arr.is_dirty(9)
+    arr.write(9)
+    assert arr.invalidate(9) is True
+    assert arr.invalidate(9) is False
+
+
+def test_tad_burst_constant():
+    # 72-byte TAD occupies one extra HBM channel cycle over the 64-byte burst.
+    assert TAD_BURST_DEVICE_CYCLES == 3
+
+
+# ----------------------------------------------------------------------
+# Dirty-bit cache
+# ----------------------------------------------------------------------
+
+def test_dbc_miss_then_hit():
+    dbc = DirtyBitCache(entries=8, assoc=2, group_sets=64)
+    assert dbc.lookup(10) is None
+    dbc.fill_group(10, dirty_mask=1 << 10)
+    assert dbc.lookup(10) is True
+    assert dbc.lookup(11) is False
+
+
+def test_dbc_group_mapping():
+    dbc = DirtyBitCache(entries=8, assoc=2, group_sets=64)
+    assert dbc.group_of(0) == 0
+    assert dbc.group_of(63) == 0
+    assert dbc.group_of(64) == 1
+
+
+def test_dbc_set_dirty_updates_cached_group():
+    dbc = DirtyBitCache(entries=8, assoc=2)
+    dbc.fill_group(5, dirty_mask=0)
+    dbc.set_dirty(5, True)
+    assert dbc.lookup(5) is True
+    dbc.set_dirty(5, False)
+    assert dbc.lookup(5) is False
+
+
+def test_dbc_set_dirty_ignores_uncached_group():
+    dbc = DirtyBitCache(entries=8, assoc=2)
+    dbc.set_dirty(7, True)  # group absent: silently ignored
+    assert dbc.lookup(7) is None  # still a miss (lookup counts it)
+
+
+def test_dbc_eviction_drops_bits():
+    dbc = DirtyBitCache(entries=2, assoc=1, group_sets=64)
+    dbc.fill_group(0, dirty_mask=1)          # group 0 -> set 0
+    dbc.fill_group(2 * 64, dirty_mask=0)     # group 2 -> set 0, evicts group 0
+    assert dbc.lookup(0) is None

@@ -1,0 +1,122 @@
+"""Tests for the Section III analytical bandwidth model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth_model import (
+    analytic_dram_cache_read_bw,
+    analytic_edram_cache_read_bw,
+    delivered_bandwidth,
+    max_delivered_bandwidth,
+    optimal_fractions,
+    optimal_mm_cas_fraction,
+)
+from repro.errors import ConfigError
+
+
+def test_paper_example_all_accesses_to_m1():
+    # M1 = 102.4, M2 = 51.2; f = (1, 0) delivers 102.4 (Section III).
+    assert delivered_bandwidth([102.4, 51.2], [1.0, 0.0]) == pytest.approx(102.4)
+
+
+def test_paper_example_even_split_bottlenecked_by_m2():
+    assert delivered_bandwidth([102.4, 51.2], [0.5, 0.5]) == pytest.approx(102.4)
+
+
+def test_paper_example_optimal_split():
+    # Optimal: 2/3 to M1, 1/3 to M2 -> 153.6 GB/s.
+    fractions = optimal_fractions([102.4, 51.2])
+    assert fractions == pytest.approx([2 / 3, 1 / 3])
+    assert delivered_bandwidth([102.4, 51.2], fractions) == pytest.approx(153.6)
+
+
+def test_max_delivered_is_sum_of_bandwidths():
+    assert max_delivered_bandwidth([102.4, 38.4]) == pytest.approx(140.8)
+
+
+def test_inflation_reduces_ceiling():
+    assert max_delivered_bandwidth([100.0, 50.0], inflation=1.5) == pytest.approx(100.0)
+    with pytest.raises(ConfigError):
+        max_delivered_bandwidth([100.0], inflation=0.5)
+
+
+def test_optimal_mm_cas_fraction_is_027_for_default_platform():
+    # Fig. 8's optimal fraction: 38.4 / (102.4 + 38.4) ~ 0.27.
+    assert optimal_mm_cas_fraction(102.4, 38.4) == pytest.approx(0.2727, abs=1e-3)
+
+
+def test_input_validation():
+    with pytest.raises(ConfigError):
+        delivered_bandwidth([], [])
+    with pytest.raises(ConfigError):
+        delivered_bandwidth([10.0], [0.5, 0.5])
+    with pytest.raises(ConfigError):
+        delivered_bandwidth([10.0, -1.0], [0.5, 0.5])
+    with pytest.raises(ConfigError):
+        delivered_bandwidth([10.0, 10.0], [0.9, 0.2])
+    with pytest.raises(ConfigError):
+        optimal_fractions([0.0])
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_optimal_partition_achieves_sum(bandwidths):
+    """Property: the Eq. 3 partition always delivers sum(B_i) (Eq. 4)."""
+    fractions = optimal_fractions(bandwidths)
+    assert sum(fractions) == pytest.approx(1.0)
+    assert delivered_bandwidth(bandwidths, fractions) == pytest.approx(sum(bandwidths))
+
+
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=2, max_size=6),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_no_partition_beats_the_optimum(bandwidths, data):
+    """Property: any valid partition delivers at most sum(B_i)."""
+    raw = data.draw(
+        st.lists(st.floats(min_value=0.01, max_value=1.0),
+                 min_size=len(bandwidths), max_size=len(bandwidths))
+    )
+    total = sum(raw)
+    fractions = [x / total for x in raw]
+    # Guard against float renormalization drift.
+    fractions[-1] = 1.0 - sum(fractions[:-1])
+    delivered = delivered_bandwidth(bandwidths, fractions)
+    assert delivered <= sum(bandwidths) * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 closed forms
+# ----------------------------------------------------------------------
+
+def test_dram_cache_curve_rises_then_flattens():
+    bc, bm = 102.4, 38.4
+    points = [analytic_dram_cache_read_bw(h, bc, bm) for h in (0, 0.25, 0.5, 0.7, 0.9, 1.0)]
+    # Rising region while MM-bound.
+    assert points[0] < points[1] < points[2]
+    # Flat at cache bandwidth from ~70% on (1 - 38.4/102.4 = 62.5%).
+    assert points[3] == pytest.approx(bc)
+    assert points[4] == pytest.approx(bc)
+    assert points[5] == pytest.approx(bc)
+
+
+def test_edram_curve_peaks_then_falls():
+    br, bm = 51.2, 38.4
+    h_values = [0, 0.25, 0.5, 0.7, 0.9, 1.0]
+    points = [analytic_edram_cache_read_bw(h, br, bm) for h in h_values]
+    peak_h = br / (br + bm)
+    peak = analytic_edram_cache_read_bw(peak_h, br, bm)
+    assert peak == pytest.approx(br + bm)
+    # Loss beyond ~50-57% hit rate (the paper's key motivation).
+    assert points[3] < peak
+    assert points[5] == pytest.approx(br)
+    assert points[5] < points[2]  # 100% hit rate is WORSE than 50%
+
+
+def test_curve_input_validation():
+    with pytest.raises(ConfigError):
+        analytic_dram_cache_read_bw(1.5, 100, 40)
+    with pytest.raises(ConfigError):
+        analytic_edram_cache_read_bw(-0.1, 100, 40)

@@ -1,0 +1,156 @@
+"""Tests for the SRAM hierarchy, prefetcher, and MSHR merging."""
+
+from repro.engine import Simulator
+from repro.hierarchy.cache_hierarchy import CacheHierarchy, SramLevels, StridePrefetcher
+from repro.hierarchy.msc_base import MscController
+from repro.mem.request import AccessKind
+
+
+class FakeMsc(MscController):
+    """Records reads/writes; completes reads after a fixed delay."""
+
+    def __init__(self, sim, latency=100):
+        self.sim = sim
+        self.latency = latency
+        self.reads = []
+        self.writes = []
+        from repro.policies.base import SteeringPolicy
+        self.policy = SteeringPolicy()
+
+    def read(self, line, core_id, callback, kind=AccessKind.DEMAND_READ):
+        self.reads.append((line, core_id, kind))
+        self.sim.schedule(self.latency, lambda: callback(self.sim.now))
+
+    def write(self, line, core_id):
+        self.writes.append((line, core_id))
+
+
+def make_hierarchy(sim, cores=2, prefetch=False):
+    msc = FakeMsc(sim)
+    levels = SramLevels(l1_bytes=4 * 64, l1_assoc=2, l2_bytes=16 * 64,
+                        l2_assoc=2, l3_bytes=64 * 64, l3_assoc=4)
+    return CacheHierarchy(sim, cores, msc, levels=levels,
+                          enable_prefetch=prefetch), msc
+
+
+def test_l1_hit_after_fill():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    done = []
+    assert h.load(0, 10, on_fill=lambda t: done.append(t)) is None  # L3 miss
+    sim.run()
+    assert done
+    assert h.load(0, 10) == h.levels.l1_latency
+
+
+def test_l3_miss_reaches_msc():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    h.load(0, 42, on_fill=lambda t: None)
+    assert msc.reads[0][0] == 42
+    assert h.l3_demand_misses[0] == 1
+
+
+def test_mshr_merging_single_msc_read():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    done = []
+    h.load(0, 7, on_fill=lambda t: done.append("a"))
+    h.load(1, 7, on_fill=lambda t: done.append("b"))
+    assert len(msc.reads) == 1  # merged
+    sim.run()
+    assert sorted(done) == ["a", "b"]
+    # Both cores' private caches got the line.
+    assert h.load(0, 7) == h.levels.l1_latency
+    assert h.load(1, 7) == h.levels.l1_latency
+
+
+def test_second_core_misses_privately_hits_l3():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    h.load(0, 5, on_fill=lambda t: None)
+    sim.run()
+    # Core 1 misses its L1/L2 but hits the shared L3.
+    assert h.load(1, 5) == h.levels.l3_latency
+
+
+def test_store_marks_dirty_and_writeback_cascades():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    h.store(0, 1, on_fill=lambda t: None)
+    sim.run()
+    # Evict line 1 from L1 by filling conflicting lines (assoc 2, 2 sets).
+    for line in (3, 5, 7, 9, 11, 13):
+        h.load(0, line, on_fill=lambda t: None)
+        sim.run()
+    # The dirty line must have merged into L2/L3, not vanished.
+    dirty_somewhere = (
+        h.l1[0].is_dirty(1) or h.l2[0].is_dirty(1) or h.l3.is_dirty(1)
+    )
+    assert dirty_somewhere
+
+
+def test_l3_dirty_eviction_writes_to_msc():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    levels = h.levels
+    # Dirty a line, then stream enough lines through one L3 set to evict it.
+    h.store(0, 0, on_fill=lambda t: None)
+    sim.run()
+    sets = h.l3.num_sets
+    for i in range(1, 8):
+        h.load(0, i * sets, on_fill=lambda t: None)  # same L3 set as line 0
+        sim.run()
+    assert any(line == 0 for line, _ in msc.writes)
+
+
+def test_mpki_accounting():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim)
+    for line in range(10):
+        h.load(0, line * 1000, on_fill=lambda t: None)
+        sim.run()
+    assert h.l3_demand_misses[0] == 10
+    assert h.l3_mpki(0, instructions=1000) == 10.0
+    assert h.l3_mpki(0, instructions=0) == 0.0
+
+
+def test_prefetcher_detects_streams():
+    pf = StridePrefetcher(degree=2)
+    targets = []
+    for line in range(100, 110):
+        targets.extend(pf.observe(line))
+    assert targets  # stream detected
+    assert targets[-1] > 109  # prefetches run ahead
+
+
+def test_prefetcher_ignores_random():
+    pf = StridePrefetcher(degree=2)
+    import random
+
+    rng = random.Random(1)
+    targets = []
+    for _ in range(50):
+        targets.extend(pf.observe(rng.randrange(10_000_000)))
+    assert not targets
+
+
+def test_prefetch_issues_reads_with_prefetch_kind():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim, prefetch=True)
+    for i in range(20):
+        h.load(0, 1000 + i, on_fill=lambda t: None)
+        sim.run()
+    kinds = {kind for _, _, kind in msc.reads}
+    assert AccessKind.PREFETCH_READ in kinds
+
+
+def test_prefetch_inflight_is_bounded():
+    sim = Simulator()
+    h, msc = make_hierarchy(sim, prefetch=True)
+    h.max_prefetch_inflight = 2
+    # Stream without letting fills complete: prefetches must stay <= 2.
+    for i in range(30):
+        h.load(0, 5000 + i * 64, on_fill=lambda t: None)  # distinct L2 sets
+    pf_reads = [r for r in msc.reads if r[2] is AccessKind.PREFETCH_READ]
+    assert len(pf_reads) <= 2

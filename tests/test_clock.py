@@ -1,0 +1,46 @@
+"""Unit tests for clock-domain conversions."""
+
+import pytest
+
+from repro.engine.clock import ClockDomain, accesses_per_cpu_cycle, bytes_per_cpu_cycle
+from repro.errors import ConfigError
+
+
+def test_device_cycles_convert_and_round_up():
+    clock = ClockDomain(device_ghz=1.2, cpu_ghz=4.0)
+    # One 1.2 GHz cycle is 3.33 CPU cycles -> rounds to 4.
+    assert clock.device_cycles_to_cpu(1) == 4
+    # 15 device cycles = 50 CPU cycles exactly.
+    assert clock.device_cycles_to_cpu(15) == 50
+
+
+def test_ns_round_trip():
+    clock = ClockDomain(device_ghz=0.8, cpu_ghz=4.0)
+    assert clock.ns_to_cpu(10) == 40
+    assert clock.cpu_to_ns(40) == pytest.approx(10.0)
+
+
+def test_invalid_frequencies_rejected():
+    with pytest.raises(ConfigError):
+        ClockDomain(device_ghz=0)
+    with pytest.raises(ConfigError):
+        ClockDomain(device_ghz=1.0, cpu_ghz=-1)
+
+
+def test_bytes_per_cpu_cycle():
+    # 38.4 GB/s at 4 GHz = 9.6 bytes/cycle.
+    assert bytes_per_cpu_cycle(38.4) == pytest.approx(9.6)
+
+
+def test_accesses_per_cpu_cycle_matches_paper_constants():
+    # 102.4 GB/s of 64 B accesses at 4 GHz = 0.4 accesses/cycle.
+    assert accesses_per_cpu_cycle(102.4) == pytest.approx(0.4)
+    # 38.4 GB/s = 0.15 accesses/cycle, so K = 0.4/0.15 = 8/3.
+    assert accesses_per_cpu_cycle(102.4) / accesses_per_cpu_cycle(38.4) == pytest.approx(8 / 3)
+
+
+def test_accesses_rejects_bad_inputs():
+    with pytest.raises(ConfigError):
+        accesses_per_cpu_cycle(-1)
+    with pytest.raises(ConfigError):
+        accesses_per_cpu_cycle(10, access_bytes=0)

@@ -1,0 +1,94 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(7, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(1))
+    sim.run(until=50)
+    assert fired == []
+    assert sim.now == 50
+    sim.run()
+    assert fired == [1]
+
+
+def test_events_scheduled_during_dispatch_are_honoured():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(5, lambda: seen.append(sim.now))
+
+    sim.schedule(10, first)
+    sim.run()
+    assert seen == [10, 15]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5, lambda: None)
+
+
+def test_step_dispatches_single_event():
+    sim = Simulator()
+    out = []
+    sim.schedule(1, lambda: out.append("x"))
+    sim.schedule(2, lambda: out.append("y"))
+    assert sim.step()
+    assert out == ["x"]
+    assert sim.step()
+    assert not sim.step()
+    assert out == ["x", "y"]
+
+
+def test_pending_and_peek():
+    sim = Simulator()
+    assert sim.peek_time() is None
+    sim.schedule(42, lambda: None)
+    assert sim.pending == 1
+    assert sim.peek_time() == 42
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=123)
+    assert sim.now == 123
+
+
+def test_events_dispatched_counter_accumulates():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 4

@@ -1,0 +1,157 @@
+"""Tests for the OS-visible flat-memory extension."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import ConfigError
+from repro.flat.controller import FlatMemoryController
+from repro.flat.placement import (
+    PAGE_LINES,
+    AdaptiveMigrationPlacement,
+    BandwidthInterleavePlacement,
+    FirstTouchPlacement,
+    Tier,
+    make_placement,
+)
+from repro.mem.configs import ddr4_2400, hbm_102
+from repro.mem.device import MemoryDevice
+from repro.mem.request import AccessKind
+
+
+def make_controller(placement):
+    sim = Simulator()
+    fast = MemoryDevice(sim, hbm_102())
+    slow = MemoryDevice(sim, ddr4_2400())
+    return sim, FlatMemoryController(sim, fast, slow, placement)
+
+
+# ----------------------------------------------------------------------
+# Placement policies
+# ----------------------------------------------------------------------
+
+def test_first_touch_fills_then_spills():
+    p = FirstTouchPlacement(fast_capacity_pages=2)
+    assert p.tier_of(0 * PAGE_LINES) is Tier.FAST
+    assert p.tier_of(1 * PAGE_LINES) is Tier.FAST
+    assert p.tier_of(2 * PAGE_LINES) is Tier.SLOW  # full
+    assert p.tier_of(0 * PAGE_LINES + 5) is Tier.FAST  # sticky
+
+
+def test_interleave_matches_bandwidth_ratio():
+    p = BandwidthInterleavePlacement(fast_capacity_pages=10_000,
+                                     b_fast=102.4, b_slow=38.4)
+    fast = sum(p.tier_of(page * PAGE_LINES) is Tier.FAST
+               for page in range(4000))
+    assert abs(fast / 4000 - 102.4 / 140.8) < 0.03
+
+
+def test_interleave_is_deterministic_and_sticky():
+    p = BandwidthInterleavePlacement(fast_capacity_pages=100,
+                                     b_fast=100, b_slow=50)
+    tiers = [p.tier_of(page * PAGE_LINES) for page in range(50)]
+    tiers_again = [p.tier_of(page * PAGE_LINES) for page in range(50)]
+    assert tiers == tiers_again
+
+
+def test_adaptive_demotes_when_fast_tier_hot():
+    p = AdaptiveMigrationPlacement(fast_capacity_pages=1000, b_fast=100,
+                                   b_slow=50, epoch_cycles=10)
+    # All traffic to fast pages -> fraction 1.0 >> target 2/3.
+    for page in range(20):
+        line = page * PAGE_LINES
+        tier = p.tier_of(line)
+        for _ in range(20):
+            p.observe(line, tier)
+    moves = p.epoch(now=100)
+    assert moves
+    assert all(tier is Tier.SLOW for _, tier in moves)
+    # Demoted pages do not bounce straight back on next touch.
+    demoted_page, _ = moves[0]
+    assert p.tier_of(demoted_page * PAGE_LINES) is Tier.SLOW
+
+
+def test_adaptive_settles_after_a_batch():
+    p = AdaptiveMigrationPlacement(fast_capacity_pages=1000, b_fast=100,
+                                   b_slow=50, epoch_cycles=10)
+    for page in range(20):
+        tier = p.tier_of(page * PAGE_LINES)
+        for _ in range(20):
+            p.observe(page * PAGE_LINES, tier)
+    assert p.epoch(now=100)
+    # Next epochs are settle epochs: no migrations even with hot traffic.
+    for page in range(20):
+        p.observe(page * PAGE_LINES, Tier.FAST)
+    assert p.epoch(now=200) == []
+
+
+def test_make_placement_factory():
+    assert make_placement("first-touch", 10, 100, 50).name == "first-touch"
+    assert make_placement("adaptive", 10, 100, 50).name == "adaptive"
+    with pytest.raises(ConfigError):
+        make_placement("oracle", 10, 100, 50)
+    with pytest.raises(ConfigError):
+        FirstTouchPlacement(fast_capacity_pages=0)
+    with pytest.raises(ConfigError):
+        BandwidthInterleavePlacement(10, b_fast=0, b_slow=50)
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+
+def test_reads_route_by_placement():
+    p = FirstTouchPlacement(fast_capacity_pages=1)
+    sim, ctrl = make_controller(p)
+    done = []
+    ctrl.read(0, core_id=0, callback=lambda t: done.append(t))            # fast
+    ctrl.read(5 * PAGE_LINES, core_id=0, callback=lambda t: done.append(t))  # slow
+    sim.run()
+    assert len(done) == 2
+    assert ctrl.fast_dev.total_cas() == 1
+    assert ctrl.slow_dev.total_cas() == 1
+    assert ctrl.served_hits == 1 and ctrl.served_misses == 1
+
+
+def test_writes_route_by_placement():
+    p = FirstTouchPlacement(fast_capacity_pages=1)
+    sim, ctrl = make_controller(p)
+    ctrl.write(0, core_id=0)
+    ctrl.write(9 * PAGE_LINES, core_id=0)
+    sim.run()
+    assert ctrl.fast_dev.cas_by_kind().get(AccessKind.WRITEBACK) == 1
+    assert ctrl.slow_dev.cas_by_kind().get(AccessKind.WRITEBACK) == 1
+
+
+def test_migration_charges_page_copy_traffic():
+    p = AdaptiveMigrationPlacement(fast_capacity_pages=1000, b_fast=100,
+                                   b_slow=50, epoch_cycles=10)
+    sim, ctrl = make_controller(p)
+    done = []
+    # Heat up a few fast pages, then cross an epoch to trigger demotion.
+    for page in range(10):
+        for _ in range(30):
+            ctrl.read(page * PAGE_LINES, core_id=0,
+                      callback=lambda t: done.append(t))
+    sim.run()
+    ctrl.read(0, core_id=0, callback=lambda t: done.append(t))  # epoch hook
+    sim.run()
+    assert ctrl.migrated_pages >= 1
+    # A migrated page costs 64 reads on the source + 64 writes on the dest.
+    assert ctrl.fast_dev.cas_by_kind().get(AccessKind.EVICT_READ, 0) >= 64
+    assert ctrl.slow_dev.cas_by_kind().get(AccessKind.WRITEBACK, 0) >= 64
+
+
+def test_experiment_shape():
+    from repro.experiments.common import SMOKE
+    from repro.experiments.ext_flat_memory import run
+
+    result = run(SMOKE)
+    rows = {row[0]: row for row in result.rows}
+    # First-touch keeps all traffic in the fast tier...
+    assert rows["first-touch"][3] == pytest.approx(1.0)
+    # ...and delivers less than the Eq. 3 interleave.
+    assert rows["bandwidth-interleave"][1] > rows["first-touch"][1]
+    # The interleave sits near the optimal traffic fraction.
+    assert abs(rows["bandwidth-interleave"][3] - 0.727) < 0.05
+    # Adaptive converges: steady-state beats first-touch.
+    assert rows["adaptive"][2] > rows["first-touch"][2]

@@ -1,0 +1,40 @@
+"""Tests for the footprint predictor."""
+
+from repro.cache.footprint import FootprintPredictor
+
+
+def test_unknown_sector_predicts_nothing():
+    fp = FootprintPredictor()
+    assert fp.predict(42, demand_block=0) == 0
+
+
+def test_record_and_predict_excludes_demand_block():
+    fp = FootprintPredictor()
+    fp.record(7, touched_mask=0b1011)
+    assert fp.predict(7, demand_block=0) == 0b1010
+    assert fp.predict(7, demand_block=3) == 0b0011
+
+
+def test_empty_masks_are_not_recorded():
+    fp = FootprintPredictor()
+    fp.record(7, touched_mask=0)
+    assert len(fp) == 0
+
+
+def test_fifo_eviction():
+    fp = FootprintPredictor(capacity=2)
+    fp.record(1, 0b1)
+    fp.record(2, 0b10)
+    fp.record(3, 0b100)
+    assert fp.predict(1, 63) == 0       # evicted
+    assert fp.predict(3, 63) == 0b100
+
+
+def test_rerecord_refreshes_entry():
+    fp = FootprintPredictor(capacity=2)
+    fp.record(1, 0b1)
+    fp.record(2, 0b10)
+    fp.record(1, 0b11)   # refresh: 1 becomes newest
+    fp.record(3, 0b100)  # evicts 2, not 1
+    assert fp.predict(1, 63) == 0b11
+    assert fp.predict(2, 63) == 0

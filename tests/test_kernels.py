@@ -1,0 +1,52 @@
+"""Tests for the Fig. 1 read-bandwidth kernel."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments.fig01_bandwidth_vs_hitrate import (
+    _dram_cache_factory,
+    _edram_factory,
+)
+from repro.workloads.kernels import ReadKernel, run_read_kernel
+from repro.engine import Simulator
+
+
+def test_hit_rate_is_achieved():
+    result = run_read_kernel(_dram_cache_factory, hit_rate=0.7,
+                             total_reads=2000)
+    assert abs(result.achieved_hit_rate - 0.7) < 0.05
+    assert result.reads_completed == 2000
+
+
+def test_zero_and_full_hit_rates():
+    miss = run_read_kernel(_dram_cache_factory, hit_rate=0.0, total_reads=1000)
+    hit = run_read_kernel(_dram_cache_factory, hit_rate=1.0, total_reads=1000)
+    assert miss.achieved_hit_rate < 0.05
+    assert hit.achieved_hit_rate > 0.95
+    # All-hit bandwidth beats all-miss bandwidth on the DRAM cache.
+    assert hit.delivered_gbps > miss.delivered_gbps
+
+
+def test_edram_peak_exceeds_read_channels():
+    mid = run_read_kernel(_edram_factory, hit_rate=0.5, total_reads=2000)
+    full = run_read_kernel(_edram_factory, hit_rate=1.0, total_reads=2000)
+    # At 50% the system exceeds the 51.2 GB/s read channels alone...
+    assert mid.delivered_gbps > 55
+    # ...but at 100% it cannot.
+    assert full.delivered_gbps <= 52.5
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    ctrl = _dram_cache_factory(sim)
+    with pytest.raises(WorkloadError):
+        ReadKernel(sim, ctrl, hit_rate=1.5, total_reads=10)
+    with pytest.raises(WorkloadError):
+        ReadKernel(sim, ctrl, hit_rate=0.5, total_reads=0)
+
+
+def test_kernel_deterministic():
+    a = run_read_kernel(_dram_cache_factory, hit_rate=0.5, total_reads=1500)
+    b = run_read_kernel(_dram_cache_factory, hit_rate=0.5, total_reads=1500)
+    assert a.delivered_gbps == b.delivered_gbps
+    assert a.cycles == b.cycles

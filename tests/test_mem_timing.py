@@ -1,0 +1,72 @@
+"""Unit tests for DRAM timing parameters and device configs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.configs import (
+    ddr4_2400,
+    ddr4_2400_no_io,
+    ddr4_3200,
+    edram_channels,
+    hbm_102,
+    hbm_128,
+    hbm_204,
+    lpddr4_2400,
+)
+from repro.mem.timing import DramTiming
+
+
+def test_row_hit_and_miss_latencies():
+    t = DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4)
+    assert t.row_hit_latency == 15
+    assert t.row_miss_latency == 45
+
+
+def test_negative_timing_rejected():
+    with pytest.raises(ConfigError):
+        DramTiming(t_cas=0, t_rcd=15, t_rp=15, t_ras=39, burst=4)
+    with pytest.raises(ConfigError):
+        DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4, extra_io=-1)
+
+
+def test_with_extra_io_preserves_other_fields():
+    t = DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4, extra_io=10)
+    t0 = t.with_extra_io(0)
+    assert t0.extra_io == 0
+    assert t0.t_cas == 15 and t0.burst == 4
+
+
+@pytest.mark.parametrize(
+    "factory, gbps",
+    [
+        (ddr4_2400, 38.4),
+        (ddr4_3200, 51.2),
+        (lpddr4_2400, 38.4),
+        (hbm_102, 102.4),
+        (hbm_128, 128.0),
+        (hbm_204, 204.8),
+    ],
+)
+def test_peak_bandwidths_match_paper(factory, gbps):
+    assert factory().peak_gbps == pytest.approx(gbps, rel=1e-6)
+
+
+def test_edram_directions():
+    rd = edram_channels("read")
+    wr = edram_channels("write")
+    assert rd.peak_gbps == pytest.approx(51.2)
+    assert wr.peak_gbps == pytest.approx(51.2)
+    assert rd.timing.turnaround == 0
+    with pytest.raises(ConfigError):
+        edram_channels("both")
+
+
+def test_io_variants():
+    assert ddr4_2400().timing.extra_io == 10
+    assert ddr4_2400_no_io().timing.extra_io == 0
+
+
+def test_k_ratio_default_platform():
+    # K = B_MS$ / B_MM = 102.4/38.4 = 8/3, approximated as 11/4 in hardware.
+    k = hbm_102().peak_gbps / ddr4_2400().peak_gbps
+    assert k == pytest.approx(8 / 3)

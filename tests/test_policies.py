@@ -1,0 +1,168 @@
+"""Tests for the SBD, SBD-WT and BATMAN baseline policies."""
+
+from repro.cache.sectored import SectoredCacheArray, SectorProbe
+from repro.engine import Simulator
+from repro.hierarchy.msc_sectored import SectoredMscController
+from repro.mem.configs import ddr4_2400, hbm_102
+from repro.mem.device import MemoryDevice
+from repro.mem.request import AccessKind
+from repro.policies.batman import BatmanPolicy
+from repro.policies.sbd import SbdPolicy
+
+
+def make_controller(policy, capacity=8 << 20):
+    sim = Simulator()
+    cache_dev = MemoryDevice(sim, hbm_102())
+    mm_dev = MemoryDevice(sim, ddr4_2400())
+    array = SectoredCacheArray("l4", capacity, assoc=4, sector_bytes=4096)
+    ctrl = SectoredMscController(sim, cache_dev, mm_dev, array, policy=policy,
+                                 tag_cache=None)
+    return sim, ctrl
+
+
+# ----------------------------------------------------------------------
+# SBD
+# ----------------------------------------------------------------------
+
+def test_sbd_write_through_for_cold_pages():
+    policy = SbdPolicy()
+    sim, ctrl = make_controller(policy)
+    ctrl.write(10, core_id=0)
+    sim.run()
+    # Page not in the dirty list: write-through keeps the block clean.
+    assert ctrl.mm_dev.cas_by_kind().get(AccessKind.WT_WRITE) == 1
+    assert not ctrl.array.is_block_dirty(10)
+
+
+def test_sbd_dirty_list_pages_skip_write_through():
+    policy = SbdPolicy(dirty_threshold=4)
+    sim, ctrl = make_controller(policy)
+    page_line = 64 * 5  # page 5
+    for i in range(6):
+        ctrl.write(page_line + i, core_id=0)
+    sim.run()
+    assert policy.in_dirty_list(page_line)
+    wt_before = ctrl.mm_dev.cas_by_kind().get(AccessKind.WT_WRITE, 0)
+    ctrl.write(page_line + 10, core_id=0)
+    sim.run()
+    assert ctrl.mm_dev.cas_by_kind().get(AccessKind.WT_WRITE, 0) == wt_before
+    assert ctrl.array.is_block_dirty(page_line + 10)
+
+
+def test_sbd_steers_clean_reads_when_mm_is_faster():
+    policy = SbdPolicy()
+    sim, ctrl = make_controller(policy)
+    ctrl.warm_line(100)
+    # Pile requests on the cache channel serving line 100 to make it slow.
+    for i in range(40):
+        ctrl.cache_dev.enqueue(
+            __import__("repro.mem.request", fromlist=["Request"]).Request(
+                line=100 + i * 4, kind=AccessKind.FILL_WRITE))
+    done = []
+    ctrl.read(100, core_id=0, callback=lambda t: done.append(t))
+    sim.run()
+    assert done
+    assert policy.steered_reads >= 1
+    assert ctrl.mm_dev.cas_by_kind().get(AccessKind.DEMAND_READ) == 1
+
+
+def test_sbd_cleaning_on_dirty_list_exit():
+    policy = SbdPolicy(dirty_threshold=4, epoch_cycles=100, force_cleaning=True)
+    sim, ctrl = make_controller(policy)
+    page_line = 0
+    for i in range(5):
+        ctrl.write(page_line + i, core_id=0)
+    sim.run()
+    assert policy.in_dirty_list(page_line)
+    # Decay epochs: 5 -> 2 -> 1 write counts; page exits, gets cleaned.
+    for t in range(1, 6):
+        sim.at(sim.now + 150, lambda: policy.tick(sim.now))
+        sim.run()
+    assert not policy.in_dirty_list(page_line)
+    assert policy.cleanings >= 1
+    assert ctrl.mm_dev.cas_by_kind().get(AccessKind.WRITEBACK, 0) >= 1
+    assert not ctrl.array.is_block_dirty(page_line)
+
+
+def test_sbd_wt_never_cleans():
+    policy = SbdPolicy(dirty_threshold=4, epoch_cycles=100, force_cleaning=False)
+    assert policy.name == "sbd-wt"
+    sim, ctrl = make_controller(policy)
+    for i in range(5):
+        ctrl.write(i, core_id=0)
+    sim.run()
+    for _ in range(5):
+        sim.at(sim.now + 150, lambda: policy.tick(sim.now))
+        sim.run()
+    assert policy.cleanings == 0
+
+
+# ----------------------------------------------------------------------
+# BATMAN
+# ----------------------------------------------------------------------
+
+def test_batman_target_hit_rate_from_bandwidths():
+    policy = BatmanPolicy()
+    sim, ctrl = make_controller(policy)
+    assert abs(policy.target_hit_rate - 102.4 / 140.8) < 1e-9
+
+
+def test_batman_disables_sets_when_hit_rate_above_target():
+    policy = BatmanPolicy(epoch_cycles=10, step_fraction=0.5)
+    sim, ctrl = make_controller(policy, capacity=8 * 4 * 4096)  # 8 sets
+    # Simulate an all-hits epoch.
+    ctrl.served_hits = 1000
+    ctrl.served_misses = 0
+    policy.tick(now=20)
+    policy.tick(now=40)  # second epoch acts on the measured rate
+    assert policy.disabled_sets >= 1
+
+
+def test_batman_reenables_when_hit_rate_below_target():
+    policy = BatmanPolicy(epoch_cycles=10, step_fraction=0.5)
+    sim, ctrl = make_controller(policy, capacity=8 * 4 * 4096)
+    ctrl.served_hits = 1000
+    ctrl.served_misses = 0
+    policy.tick(now=20)
+    policy.tick(now=40)
+    disabled = policy.disabled_sets
+    assert disabled >= 1
+    # Now an all-miss epoch: sets come back.
+    ctrl.served_misses += 5000
+    policy.tick(now=60)
+    assert policy.disabled_sets < disabled
+
+
+def test_batman_flushes_dirty_blocks_of_disabled_sets():
+    policy = BatmanPolicy(epoch_cycles=10, step_fraction=1.0,
+                          max_disabled_fraction=1.0)
+    sim, ctrl = make_controller(policy, capacity=2 * 4 * 4096)  # 2 sets
+    ctrl.write(0, core_id=0)  # dirty block in set 0
+    sim.run()
+    ctrl.served_hits = 1000
+    ctrl.served_misses = 0
+    policy.tick(now=20)
+    policy.tick(now=40)
+    sim.run()
+    assert policy.disabled_sets >= 1
+    assert ctrl.mm_dev.cas_by_kind().get(AccessKind.WRITEBACK, 0) >= 1
+
+
+def test_batman_disabled_sets_reject_fills():
+    policy = BatmanPolicy(epoch_cycles=10, step_fraction=1.0,
+                          max_disabled_fraction=1.0)
+    sim, ctrl = make_controller(policy, capacity=2 * 4 * 4096)
+    ctrl.served_hits = 1000
+    ctrl.served_misses = 0
+    policy.tick(now=20)
+    policy.tick(now=40)
+    assert policy.disabled_sets == 2
+    done = []
+    ctrl.read(0, core_id=0, callback=lambda t: done.append(t))
+    sim.run()
+    assert done
+    assert ctrl.array.probe(0) is SectorProbe.SECTOR_MISS  # fill rejected
+    # A dirty write to a disabled set still reaches main memory.
+    ctrl.write(64, core_id=0)
+    sim.run()
+    assert ctrl.mm_dev.cas_by_kind().get(AccessKind.WRITEBACK, 0) >= 1

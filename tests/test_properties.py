@@ -1,0 +1,140 @@
+"""Cross-cutting property-based tests on the simulation substrates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Simulator
+from repro.engine.clock import ClockDomain
+from repro.errors import ReproError, ConfigError, SimulationError, WorkloadError
+from repro.mem.channel import DramChannel
+from repro.mem.request import AccessKind, Request
+from repro.mem.timing import DramTiming
+
+
+# ----------------------------------------------------------------------
+# Error hierarchy
+# ----------------------------------------------------------------------
+
+def test_error_hierarchy():
+    for exc in (ConfigError, SimulationError, WorkloadError):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+# ----------------------------------------------------------------------
+# Event queue properties
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_dispatch_times_are_monotonic(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.at(t, lambda now=t: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(times)
+    assert sim.now == max(times)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=100),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_run_until_never_dispatches_late_events(times, bound):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.at(t, lambda now=t: seen.append(now))
+    sim.run(until=bound)
+    assert all(t <= bound for t in seen)
+    assert sorted(seen) == sorted(t for t in times if t <= bound)
+
+
+# ----------------------------------------------------------------------
+# Channel conservation properties
+# ----------------------------------------------------------------------
+
+@st.composite
+def request_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    lines = draw(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return list(zip(lines, writes))
+
+
+@given(request_batches())
+@settings(max_examples=40, deadline=None)
+def test_every_request_completes_exactly_once(batch):
+    sim = Simulator()
+    clock = ClockDomain(device_ghz=0.8, cpu_ghz=4.0)
+    timing = DramTiming(t_cas=10, t_rcd=10, t_rp=10, t_ras=26, burst=2)
+    chan = DramChannel(sim, clock, timing, num_banks=16, row_bytes=2048)
+    completions: dict[int, int] = {}
+
+    def done(req, t):
+        completions[req.req_id] = completions.get(req.req_id, 0) + 1
+
+    reqs = []
+    for line, is_write in batch:
+        kind = AccessKind.WRITEBACK if is_write else AccessKind.DEMAND_READ
+        req = Request(line=line, kind=kind, on_complete=done)
+        reqs.append(req)
+        chan.enqueue(req)
+    sim.run()
+    assert len(completions) == len(batch)
+    assert all(count == 1 for count in completions.values())
+    # Stats conserve: CAS count equals total requests; queues drained.
+    assert chan.stats.total_cas == len(batch)
+    assert chan.read_queue_len == 0 and chan.write_queue_len == 0
+    assert chan.stats.reads_done + chan.stats.writes_done == len(batch)
+
+
+@given(request_batches())
+@settings(max_examples=30, deadline=None)
+def test_finish_times_respect_issue_order_per_line(batch):
+    """Two requests to the same line never complete at the same cycle on
+    one channel (the bus serializes), and every finish is after issue."""
+    sim = Simulator()
+    clock = ClockDomain(device_ghz=0.8, cpu_ghz=4.0)
+    timing = DramTiming(t_cas=10, t_rcd=10, t_rp=10, t_ras=26, burst=2)
+    chan = DramChannel(sim, clock, timing, num_banks=16, row_bytes=2048)
+    finishes = []
+    for line, is_write in batch:
+        kind = AccessKind.WRITEBACK if is_write else AccessKind.DEMAND_READ
+        chan.enqueue(Request(line=line, kind=kind,
+                             on_complete=lambda r, t: finishes.append((r, t))))
+    sim.run()
+    for req, t in finishes:
+        assert t > req.issue_cycle
+        assert req.start_cycle >= req.issue_cycle
+    # Bus exclusivity: data windows do not overlap.
+    windows = sorted((r.start_cycle, r.finish_cycle) for r, _ in finishes)
+    for (s1, f1), (s2, f2) in zip(windows, windows[1:]):
+        assert s2 >= s1  # sorted sanity
+
+
+# ----------------------------------------------------------------------
+# Request helpers
+# ----------------------------------------------------------------------
+
+def test_request_kind_write_classification():
+    assert AccessKind.FILL_WRITE.is_write
+    assert AccessKind.WT_WRITE.is_write
+    assert not AccessKind.DEMAND_READ.is_write
+    assert not AccessKind.SPEC_READ.is_write
+    assert not AccessKind.FOOTPRINT_READ.is_write
+
+
+def test_request_latency_helpers():
+    req = Request(line=4, kind=AccessKind.DEMAND_READ)
+    assert req.total_latency() == 0  # not yet completed
+    req.issue_cycle, req.start_cycle, req.finish_cycle = 10, 30, 50
+    assert req.queue_latency() == 20
+    assert req.total_latency() == 40
+    assert req.byte_addr == 4 * 64

@@ -1,0 +1,78 @@
+"""Tests for DRAM refresh modeling (tREFI / tRFC)."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.engine.clock import ClockDomain
+from repro.errors import ConfigError
+from repro.mem.channel import DramChannel
+from repro.mem.request import AccessKind, Request
+from repro.mem.timing import DramTiming
+
+
+def make_channel(sim, t_refi=0, t_rfc=0):
+    clock = ClockDomain(device_ghz=1.2, cpu_ghz=4.0)
+    timing = DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4,
+                        t_refi=t_refi, t_rfc=t_rfc)
+    return DramChannel(sim, clock, timing, num_banks=16, row_bytes=2048)
+
+
+def stream(channel, sim, n):
+    done = []
+    for line in range(n):
+        channel.enqueue(Request(line=line, kind=AccessKind.DEMAND_READ,
+                                on_complete=lambda r, t: done.append(t)))
+    sim.run()
+    return done
+
+
+def test_refresh_validation():
+    with pytest.raises(ConfigError):
+        DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4, t_refi=-1)
+    with pytest.raises(ConfigError):
+        # tRFC must fit inside the refresh interval.
+        DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4,
+                   t_refi=100, t_rfc=100)
+
+
+def test_with_refresh_copies_timings():
+    base = DramTiming(t_cas=15, t_rcd=15, t_rp=15, t_ras=39, burst=4)
+    refreshed = base.with_refresh(t_refi=9360, t_rfc=420)
+    assert refreshed.t_refi == 9360 and refreshed.t_rfc == 420
+    assert refreshed.t_cas == base.t_cas
+    assert base.t_refi == 0  # original untouched
+
+
+def test_refresh_disabled_by_default():
+    sim = Simulator()
+    chan = make_channel(sim)
+    assert chan._trefi == 0
+    done = stream(chan, sim, 64)
+    assert len(done) == 64
+
+
+def test_refresh_reduces_throughput():
+    sim_off = Simulator()
+    off = make_channel(sim_off)
+    stream(off, sim_off, 2048)
+
+    sim_on = Simulator()
+    # Aggressive refresh (10% duty) for a visible effect in a short run.
+    on = make_channel(sim_on, t_refi=1000, t_rfc=100)
+    stream(on, sim_on, 2048)
+    assert sim_on.now > sim_off.now
+    # Roughly bounded by the refresh duty cycle.
+    assert sim_on.now < sim_off.now * 1.35
+
+
+def test_command_landing_in_refresh_window_is_deferred():
+    sim = Simulator()
+    chan = make_channel(sim, t_refi=1000, t_rfc=400)
+    # t_refi=1000 dev cycles -> 3334 CPU; window [3334k, 3334k+1334).
+    # A request issued at cycle 0 lands in the k=0 window and must wait
+    # until the refresh completes.
+    done = []
+    chan.enqueue(Request(line=0, kind=AccessKind.DEMAND_READ,
+                         on_complete=lambda r, t: done.append(t)))
+    sim.run()
+    assert done[0] >= chan._trfc

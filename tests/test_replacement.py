@@ -1,0 +1,54 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import LRUPolicy, NRUPolicy, make_policy
+from repro.errors import ConfigError
+
+
+class FakeWay:
+    def __init__(self):
+        self.stamp = 0
+
+
+def test_lru_selects_least_recently_used():
+    policy = LRUPolicy()
+    ways = [FakeWay() for _ in range(4)]
+    for way in ways:
+        policy.on_fill(way)
+    policy.on_access(ways[0])  # 0 becomes MRU; 1 is now LRU
+    assert policy.select_victim(ways) == 1
+
+
+def test_lru_fill_counts_as_access():
+    policy = LRUPolicy()
+    ways = [FakeWay() for _ in range(2)]
+    policy.on_fill(ways[0])
+    policy.on_fill(ways[1])
+    assert policy.select_victim(ways) == 0
+
+
+def test_nru_victim_is_first_clear_bit():
+    policy = NRUPolicy()
+    ways = [FakeWay() for _ in range(4)]
+    policy.on_access(ways[0])
+    policy.on_access(ways[2])
+    assert policy.select_victim(ways) == 1
+
+
+def test_nru_resets_when_all_set():
+    policy = NRUPolicy()
+    ways = [FakeWay() for _ in range(3)]
+    for way in ways:
+        policy.on_access(way)
+    victim = policy.select_victim(ways)
+    assert victim == 0
+    # After the reset, all bits were cleared.
+    assert [w.stamp for w in ways] == [0, 0, 0]
+
+
+def test_make_policy():
+    assert make_policy("lru").name == "lru"
+    assert make_policy("nru").name == "nru"
+    with pytest.raises(ConfigError):
+        make_policy("random")

@@ -1,0 +1,40 @@
+"""Tests for the repro-experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.runner import main, run_experiment
+
+
+def test_cli_runs_fig01_with_chart_and_csv(tmp_path, capsys):
+    exit_code = main(["fig01", "--scale", "smoke", "--chart", "1",
+                      "--csv", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Fig. 1" in out
+    assert "█" in out                      # chart rendered
+    assert (tmp_path / "fig01.csv").exists()
+    header = (tmp_path / "fig01.csv").read_text().splitlines()[0]
+    assert header.startswith("hit_rate")
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    assert main(["fig99"]) == 1
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_experiment_passes_workload_subset():
+    result = run_experiment("fig07", scale_name="smoke", workloads=["mcf"])
+    names = [row[0] for row in result.rows]
+    assert "mcf" in names
+    assert "omnetpp" not in names
+
+
+def test_run_experiment_ignores_workloads_for_fig01():
+    result = run_experiment("fig01", scale_name="smoke",
+                            workloads=["mcf"])  # silently ignored
+    assert result.rows
+
+
+def test_cli_scale_flag_validation(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig01", "--scale", "gigantic"])

@@ -1,0 +1,171 @@
+"""Tests for the sectored cache array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sectored import SectoredCacheArray, SectorProbe
+from repro.errors import ConfigError
+
+
+def make_array(capacity=4 * 4 * 4096, assoc=4, sector=4096):
+    # Default: 4 sets x 4 ways of 4 KB sectors.
+    return SectoredCacheArray("test", capacity_bytes=capacity, assoc=assoc,
+                              sector_bytes=sector)
+
+
+def test_geometry():
+    arr = make_array()
+    assert arr.blocks_per_sector == 64
+    assert arr.num_sets == 4
+    with pytest.raises(ConfigError):
+        SectoredCacheArray("bad", capacity_bytes=1000, assoc=4, sector_bytes=4096)
+
+
+def test_probe_states():
+    arr = make_array()
+    line = 100
+    assert arr.probe(line) is SectorProbe.SECTOR_MISS
+    arr.allocate_sector(line)
+    assert arr.probe(line) is SectorProbe.BLOCK_MISS
+    arr.fill_block(line)
+    assert arr.probe(line) is SectorProbe.HIT
+
+
+def test_read_counts_hits_and_misses():
+    arr = make_array()
+    line = 5
+    assert arr.read(line) is SectorProbe.SECTOR_MISS
+    arr.allocate_sector(line)
+    arr.fill_block(line)
+    assert arr.read(line) is SectorProbe.HIT
+    assert arr.read_hits == 1 and arr.read_misses == 1
+
+
+def test_write_installs_dirty_block():
+    arr = make_array()
+    line = 7
+    arr.allocate_sector(line)
+    assert arr.write(line) is SectorProbe.BLOCK_MISS  # miss, but installs
+    assert arr.probe(line) is SectorProbe.HIT
+    assert arr.is_block_dirty(line)
+
+
+def test_fill_block_without_sector_is_dropped():
+    arr = make_array()
+    assert not arr.fill_block(42)
+    assert arr.probe(42) is SectorProbe.SECTOR_MISS
+
+
+def test_sector_eviction_reports_dirty_lines():
+    arr = make_array(capacity=2 * 1 * 4096, assoc=1, sector=4096)  # 2 sets, 1 way
+    base = 0  # sector 0, set 0
+    arr.allocate_sector(base)
+    arr.write(base + 3)
+    arr.write(base + 10)
+    arr.fill_block(base + 20)  # clean block
+    # Sector 2 maps to set 0 as well (2 % 2 == 0).
+    evicted = arr.allocate_sector(2 * 64)
+    assert evicted is not None
+    assert evicted.sector_id == 0
+    assert sorted(evicted.dirty_lines) == [3, 10]
+    assert evicted.valid_blocks == 3
+
+
+def test_same_sector_lines_share_residency():
+    arr = make_array()
+    arr.allocate_sector(0)
+    arr.fill_block(0)
+    arr.fill_block(1)
+    assert arr.probe(1) is SectorProbe.HIT
+    assert arr.probe(63) is SectorProbe.BLOCK_MISS
+    assert arr.probe(64) is SectorProbe.SECTOR_MISS  # next sector
+
+
+def test_invalidate_block():
+    arr = make_array()
+    arr.allocate_sector(0)
+    arr.write(0)
+    assert arr.invalidate_block(0) is True
+    assert arr.probe(0) is SectorProbe.BLOCK_MISS
+    assert arr.invalidate_block(0) is False
+
+
+def test_clean_block():
+    arr = make_array()
+    arr.allocate_sector(0)
+    arr.write(0)
+    arr.clean_block(0)
+    assert not arr.is_block_dirty(0)
+    assert arr.probe(0) is SectorProbe.HIT
+
+
+def test_disable_set_flushes_and_rejects():
+    arr = make_array(capacity=2 * 1 * 4096, assoc=1, sector=4096)
+    arr.allocate_sector(0)
+    arr.write(5)
+    dirty = arr.disable_set(0)
+    assert dirty == [5]
+    assert arr.probe(0) is SectorProbe.SECTOR_MISS
+    assert arr.allocate_sector(0) is None
+    assert arr.probe(0) is SectorProbe.SECTOR_MISS
+    arr.enable_set(0)
+    arr.allocate_sector(0)
+    assert arr.probe(0) is SectorProbe.BLOCK_MISS
+
+
+def test_hit_rate_combines_reads_and_writes():
+    arr = make_array()
+    arr.allocate_sector(0)
+    arr.fill_block(0)
+    arr.read(0)      # hit
+    arr.read(999)    # sector miss
+    arr.write(1)     # block miss
+    assert arr.hit_rate() == pytest.approx(1 / 3)
+
+
+def test_touched_mask_tracks_footprint():
+    arr = make_array(capacity=2 * 1 * 4096, assoc=1, sector=4096)
+    arr.allocate_sector(0)
+    arr.fill_block(0)
+    arr.fill_block(9)
+    arr.read(0)
+    arr.read(9)
+    evicted = arr.allocate_sector(2 * 64)
+    assert evicted.touched_mask == (1 << 0) | (1 << 9)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["read", "write", "alloc", "fill", "inval"]),
+                  st.integers(min_value=0, max_value=511)),
+        max_size=300,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_dirty_blocks_are_always_valid(operations):
+    arr = SectoredCacheArray("prop", capacity_bytes=4 * 2 * 512, assoc=2,
+                             sector_bytes=512)
+    touched_sectors = set()
+    for op, line in operations:
+        if op == "read":
+            arr.read(line)
+        elif op == "write":
+            if arr.probe(line) is not SectorProbe.SECTOR_MISS:
+                arr.write(line)
+        elif op == "alloc":
+            arr.allocate_sector(line)
+            touched_sectors.add(arr.sector_of(line))
+        elif op == "fill":
+            arr.fill_block(line)
+        else:
+            arr.invalidate_block(line)
+        # Invariant: dirty bits are a subset of valid bits in every sector.
+        for ways in arr._sets.values():
+            for sector in ways:
+                assert sector.dirty & ~sector.valid == 0
+        assert arr.resident_sectors() <= arr.num_sets * arr.assoc

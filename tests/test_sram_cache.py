@@ -1,0 +1,147 @@
+"""Tests for the generic set-associative SRAM cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sram_cache import SRAMCache
+from repro.errors import ConfigError
+
+
+def make_cache(size=8 * 64, assoc=2):
+    return SRAMCache("test", size_bytes=size, assoc=assoc)
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert not cache.lookup(10)
+    cache.fill(10)
+    assert cache.lookup(10)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        SRAMCache("bad", size_bytes=100, assoc=3)
+    with pytest.raises(ConfigError):
+        SRAMCache("bad", size_bytes=0, assoc=1)
+
+
+def test_eviction_on_conflict():
+    cache = make_cache(size=4 * 64, assoc=2)  # 2 sets, 2 ways
+    cache.fill(0)          # set 0
+    cache.fill(2)          # set 0
+    evicted = cache.fill(4)  # set 0 again -> evicts LRU (line 0)
+    assert evicted is not None and evicted.line == 0
+    assert not cache.probe(0)
+    assert cache.probe(2) and cache.probe(4)
+
+
+def test_dirty_propagates_through_eviction():
+    cache = make_cache(size=2 * 64, assoc=1)
+    cache.fill(0, dirty=True)
+    evicted = cache.fill(2)
+    assert evicted.line == 0 and evicted.dirty
+
+
+def test_write_lookup_sets_dirty():
+    cache = make_cache()
+    cache.fill(7)
+    cache.lookup(7, is_write=True)
+    assert cache.is_dirty(7) is True
+
+
+def test_invalidate_returns_dirty_state():
+    cache = make_cache()
+    cache.fill(3, dirty=True)
+    assert cache.invalidate(3) is True
+    assert cache.invalidate(3) is None
+    assert not cache.probe(3)
+
+
+def test_refill_merges_dirty():
+    cache = make_cache()
+    cache.fill(5, dirty=True)
+    cache.fill(5, dirty=False)
+    assert cache.is_dirty(5) is True
+
+
+def test_probe_has_no_side_effects():
+    cache = make_cache()
+    cache.fill(1)
+    hits, misses = cache.hits, cache.misses
+    cache.probe(1)
+    cache.probe(999)
+    assert (cache.hits, cache.misses) == (hits, misses)
+
+
+def test_clean_clears_dirty():
+    cache = make_cache()
+    cache.fill(9, dirty=True)
+    assert cache.clean(9)
+    assert cache.is_dirty(9) is False
+    assert not cache.clean(12345)
+
+
+def test_lru_order_respected():
+    cache = make_cache(size=4 * 64, assoc=2)
+    cache.fill(0)
+    cache.fill(2)
+    cache.lookup(0)  # 0 is MRU
+    evicted = cache.fill(4)
+    assert evicted.line == 2
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["fill", "read", "write", "invalidate"]),
+              st.integers(min_value=0, max_value=63)),
+    max_size=200,
+)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_occupancy_never_exceeds_capacity(operations):
+    cache = SRAMCache("prop", size_bytes=4 * 64, assoc=2)
+    for op, line in operations:
+        if op == "fill":
+            cache.fill(line)
+        elif op == "read":
+            cache.lookup(line)
+        elif op == "write":
+            cache.lookup(line, is_write=True)
+        else:
+            cache.invalidate(line)
+        assert cache.resident_lines() <= 4
+    assert cache.accesses == cache.hits + cache.misses
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_fill_then_probe_always_hits(operations):
+    cache = SRAMCache("prop", size_bytes=16 * 64, assoc=4)
+    for op, line in operations:
+        if op == "fill":
+            cache.fill(line)
+            assert cache.probe(line)
+        elif op == "invalidate":
+            cache.invalidate(line)
+            assert not cache.probe(line)
+        else:
+            cache.lookup(line, is_write=(op == "write"))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_dirty_only_if_resident(lines):
+    cache = SRAMCache("prop", size_bytes=8 * 64, assoc=2)
+    for line in lines:
+        cache.fill(line, dirty=(line % 2 == 0))
+        dirty = cache.is_dirty(line)
+        assert dirty is not None  # just filled, must be resident
+        if line % 2 == 0:
+            assert dirty

@@ -1,0 +1,53 @@
+"""Tests for the SRAM tag cache."""
+
+from repro.cache.tag_cache import TagCache
+
+
+def test_miss_then_hit():
+    tc = TagCache(entries=8, assoc=2)
+    assert not tc.lookup(1)
+    tc.fill(1)
+    assert tc.lookup(1)
+    assert tc.misses == 1 and tc.hits == 1
+
+
+def test_dirty_metadata_eviction_reports_writeback():
+    tc = TagCache(entries=2, assoc=1)  # 2 sets of 1 way
+    tc.fill(0)
+    tc.mark_dirty(0)
+    # Sector 2 maps to the same set as 0.
+    evicted_dirty = tc.fill(2)
+    assert evicted_dirty is True
+
+
+def test_clean_metadata_eviction_needs_no_writeback():
+    tc = TagCache(entries=2, assoc=1)
+    tc.fill(0)
+    assert tc.fill(2) is False
+
+
+def test_invalidate():
+    tc = TagCache(entries=8, assoc=2)
+    tc.fill(5)
+    tc.mark_dirty(5)
+    assert tc.invalidate(5) is True
+    assert tc.invalidate(5) is None
+
+
+def test_miss_rate():
+    tc = TagCache(entries=8, assoc=2)
+    tc.lookup(1)
+    tc.fill(1)
+    tc.lookup(1)
+    assert tc.miss_rate() == 0.5
+
+
+def test_default_geometry():
+    tc = TagCache()
+    assert tc.lookup_cycles == 5
+    # 32K entries, 4-way: thrash more than 32K distinct sectors and the
+    # cache must keep functioning.
+    for sector in range(40_000):
+        if not tc.lookup(sector):
+            tc.fill(sector)
+    assert tc.hit_rate() < 0.1

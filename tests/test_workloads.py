@@ -1,0 +1,207 @@
+"""Tests for synthetic trace generation, profiles, and mixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.mixes import all_mixes, heterogeneous_mixes, rate_mix
+from repro.workloads.profiles import (
+    BANDWIDTH_INSENSITIVE,
+    BANDWIDTH_SENSITIVE,
+    PROFILES,
+    get_profile,
+)
+from repro.workloads.synthetic import (
+    AccessMix,
+    WorkloadProfile,
+    core_base_line,
+    generate_trace,
+    warm_lines,
+)
+
+
+def test_profile_catalog_shape():
+    assert len(PROFILES) == 17
+    assert len(BANDWIDTH_SENSITIVE) == 12
+    assert len(BANDWIDTH_INSENSITIVE) == 5
+    assert "omnetpp" in BANDWIDTH_SENSITIVE
+    assert "milc" in BANDWIDTH_INSENSITIVE
+
+
+def test_get_profile_unknown():
+    with pytest.raises(WorkloadError):
+        get_profile("quake3")
+
+
+def test_trace_is_deterministic():
+    p = get_profile("mcf")
+    a = list(generate_trace(p, num_refs=500, scale=1 / 64, seed=3))
+    b = list(generate_trace(p, num_refs=500, scale=1 / 64, seed=3))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    p = get_profile("mcf")
+    a = list(generate_trace(p, num_refs=500, scale=1 / 64, seed=0))
+    b = list(generate_trace(p, num_refs=500, scale=1 / 64, seed=1))
+    assert a != b
+
+
+def test_trace_length_and_fields():
+    p = get_profile("libquantum")
+    entries = list(generate_trace(p, num_refs=300, scale=1 / 64))
+    assert len(entries) == 300
+    for gap, is_write, line in entries:
+        assert gap >= 0
+        assert isinstance(is_write, bool)
+        assert line >= 0
+
+
+def test_write_fraction_roughly_respected():
+    p = get_profile("parboil-lbm")  # write fraction 0.45
+    entries = list(generate_trace(p, num_refs=5000, scale=1 / 64))
+    frac = sum(1 for _, w, _ in entries if w) / len(entries)
+    assert 0.35 < frac < 0.55
+
+
+def test_mem_per_kilo_sets_gap_distribution():
+    dense = get_profile("parboil-lbm")   # 400 refs / kilo-instr
+    sparse = get_profile("parboil-histo")  # 140 refs / kilo-instr
+    dense_gaps = [g for g, _, _ in generate_trace(dense, 2000, scale=1 / 64)]
+    sparse_gaps = [g for g, _, _ in generate_trace(sparse, 2000, scale=1 / 64)]
+    assert sum(dense_gaps) < sum(sparse_gaps)
+
+
+def test_base_line_offsets_address_space():
+    p = get_profile("mcf")
+    base = core_base_line(3)
+    entries = list(generate_trace(p, num_refs=200, base_line=base, scale=1 / 64))
+    assert all(line >= base for _, _, line in entries)
+
+
+def test_warm_lines_cover_hot_region_accesses():
+    """Non-local, non-fresh reads must fall inside the warm set."""
+    p = get_profile("mcf")
+    warm = {line for line, _ in warm_lines(p, scale=1 / 64)}
+    local_floor = 1 << 28
+    hits = misses = 0
+    for _, _, line in generate_trace(p, num_refs=3000, scale=1 / 64):
+        if line >= local_floor:
+            continue  # local class
+        if line in warm:
+            hits += 1
+        else:
+            misses += 1
+    total = hits + misses
+    assert total > 0
+    # The fresh class is small: most non-local traffic is warmed.
+    assert hits / total > 0.6
+
+
+def test_warm_lines_dirty_fraction_tracks_writes():
+    p = get_profile("parboil-lbm")
+    dirty = total = 0
+    for _, d in warm_lines(p, scale=1 / 64):
+        total += 1
+        dirty += d
+    assert 0.3 < dirty / total < 0.6
+
+
+def test_sparse_profile_touches_many_sectors():
+    p = get_profile("omnetpp")
+    sectors = {
+        line // 64
+        for _, _, line in generate_trace(p, num_refs=5000, scale=1 / 16)
+        if line < (1 << 28)
+    }
+    assert len(sectors) > 100  # sparse class spreads across regions
+
+
+def test_access_mix_validation():
+    with pytest.raises(WorkloadError):
+        AccessMix(local=0.5, stream=0.2, hot=0.2, fresh=0.2, sparse=0.2)
+    with pytest.raises(WorkloadError):
+        AccessMix(local=1.2, stream=-0.2, hot=0.0, fresh=0.0, sparse=0.0)
+
+
+def test_profile_validation():
+    mix = AccessMix(local=0.9, stream=0.0, hot=0.05, fresh=0.03, sparse=0.02)
+    with pytest.raises(WorkloadError):
+        WorkloadProfile(name="bad", mem_per_kilo=0, write_fraction=0.1,
+                        stream_mb=1, hot_mb=1, sparse_mb=16, mix=mix)
+    with pytest.raises(WorkloadError):
+        # sparse accesses without a sparse space
+        WorkloadProfile(name="bad", mem_per_kilo=100, write_fraction=0.1,
+                        stream_mb=1, hot_mb=1, sparse_mb=0, mix=mix)
+
+
+def test_invalid_num_refs():
+    with pytest.raises(WorkloadError):
+        list(generate_trace(get_profile("mcf"), num_refs=0))
+
+
+# ----------------------------------------------------------------------
+# Mixes
+# ----------------------------------------------------------------------
+
+def test_rate_mix_is_homogeneous():
+    mix = rate_mix("hpcg")
+    assert mix.num_cores == 8
+    assert set(mix.members) == {"hpcg"}
+    assert mix.category == "bandwidth-sensitive"
+
+
+def test_rate_mix_categories():
+    assert rate_mix("milc").category == "bandwidth-insensitive"
+
+
+def test_all_mixes_is_the_paper_set():
+    mixes = all_mixes()
+    assert len(mixes) == 44
+    by_cat = {}
+    for mix in mixes:
+        by_cat.setdefault(mix.category, []).append(mix)
+    assert len(by_cat["bandwidth-sensitive"]) == 12
+    assert len(by_cat["bandwidth-insensitive"]) == 5
+    assert len(by_cat["heterogeneous"]) == 27
+
+
+def test_heterogeneous_mixes_deterministic():
+    a = heterogeneous_mixes()
+    b = heterogeneous_mixes()
+    assert [m.members for m in a] == [m.members for m in b]
+
+
+def test_heterogeneous_similar_and_dissimilar():
+    mixes = heterogeneous_mixes()
+    sensitive = set(BANDWIDTH_SENSITIVE)
+    similar = [m for m in mixes
+               if set(m.members) <= sensitive
+               or not (set(m.members) & sensitive)]
+    dissimilar = [m for m in mixes if m not in similar]
+    assert len(similar) >= 10
+    assert len(dissimilar) >= 10
+
+
+def test_mix_traces_have_disjoint_address_spaces():
+    mix = rate_mix("sjeng")
+    traces = mix.traces(refs_per_core=100, scale=1 / 64)
+    spaces = []
+    for trace in traces:
+        lines = [line for _, _, line in trace]
+        spaces.append((min(lines) >> 30, max(lines) >> 30))
+    starts = [lo for lo, _ in spaces]
+    assert len(set(starts)) == 8
+
+
+@given(st.sampled_from(sorted(PROFILES)), st.integers(min_value=1, max_value=7))
+@settings(max_examples=20, deadline=None)
+def test_any_profile_generates_valid_traces(name, seed):
+    p = get_profile(name)
+    count = 0
+    for gap, is_write, line in generate_trace(p, num_refs=200, scale=1 / 64,
+                                              seed=seed):
+        assert gap >= 0 and line >= 0
+        count += 1
+    assert count == 200
