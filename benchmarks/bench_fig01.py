@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig01_bandwidth_vs_hitrate import run
 
 
 def test_fig01_bandwidth_vs_hitrate(benchmark):
-    result = run_once(benchmark, run, scale=SMOKE)
+    result = run_once(benchmark, "fig01", scale=SMOKE)
     print()
     result.print()
     dram = result.column(1)

@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig02_edram_capacity import run
 
 
 def test_fig02_edram_capacity(benchmark, core_workloads):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    result = run_once(benchmark, "fig02", scale=SMOKE, workloads=core_workloads)
     print()
     result.print()
     speedups = [row[1] for row in result.rows if row[0] != "GMEAN"]

@@ -3,13 +3,12 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig04_bandwidth_sensitivity import run
 
 WORKLOADS = ["mcf", "soplex.ref", "milc", "parboil-histo"]
 
 
 def test_fig04_bandwidth_sensitivity(benchmark):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=WORKLOADS)
+    result = run_once(benchmark, "fig04", scale=SMOKE, workloads=WORKLOADS)
     print()
     result.print()
     rows = {row[0]: row for row in result.rows}

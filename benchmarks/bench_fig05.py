@@ -3,13 +3,12 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig05_tag_cache import run
 
 WORKLOADS = ["mcf", "omnetpp", "libquantum"]
 
 
 def test_fig05_tag_cache(benchmark):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=WORKLOADS)
+    result = run_once(benchmark, "fig05", scale=SMOKE, workloads=WORKLOADS)
     print()
     result.print()
     rows = {row[0]: row for row in result.rows}

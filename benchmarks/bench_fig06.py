@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig06_dap_speedup import run
 
 
 def test_fig06_dap_speedup(benchmark, core_workloads):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    result = run_once(benchmark, "fig06", scale=SMOKE, workloads=core_workloads)
     print()
     result.print()
     rows = {row[0]: row for row in result.rows}

@@ -4,11 +4,10 @@ import pytest
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig07_dap_decisions import run
 
 
 def test_fig07_dap_decisions(benchmark, core_workloads):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    result = run_once(benchmark, "fig07", scale=SMOKE, workloads=core_workloads)
     print()
     result.print()
     rows = {row[0]: row for row in result.rows}

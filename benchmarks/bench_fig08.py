@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig08_cas_fraction import run
 
 
 def test_fig08_cas_fraction(benchmark, core_workloads):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=core_workloads)
+    result = run_once(benchmark, "fig08", scale=SMOKE, workloads=core_workloads)
     print()
     result.print()
     mean = [row for row in result.rows if row[0] == "MEAN"][0]

@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig09_memory_technology import run
 
 
 def test_fig09_memory_technology(benchmark):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=["mcf"])
+    result = run_once(benchmark, "fig09", scale=SMOKE, workloads=["mcf"])
     print()
     result.print()
     gmean = [row for row in result.rows if row[0] == "GMEAN"][0]

@@ -3,13 +3,12 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig12_all_workloads import run
 
 
 def test_fig12_all_workloads(benchmark):
     # One mix per category at smoke scale; the full 44 run via
     # `repro-experiment fig12 --scale small`.
-    result = run_once(benchmark, run, scale=SMOKE, max_mixes_per_category=1)
+    result = run_once(benchmark, "fig12", scale=SMOKE, max_mixes_per_category=1)
     print()
     result.print()
     gmeans = {row[0]: row[2] for row in result.rows if row[0].startswith("GMEAN")}

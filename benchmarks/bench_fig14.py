@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.fig14_alloy import run
 
 
 def test_fig14_alloy(benchmark, tiny_workloads):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=tiny_workloads)
+    result = run_once(benchmark, "fig14", scale=SMOKE, workloads=tiny_workloads)
     print()
     result.print()
     gmean = [row for row in result.rows if row[0] == "GMEAN"][0]

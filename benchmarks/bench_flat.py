@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.ext_flat_memory import run
 
 
 def test_flat_memory_extension(benchmark):
-    result = run_once(benchmark, run, scale=SMOKE)
+    result = run_once(benchmark, "flat", scale=SMOKE)
     print()
     result.print()
     rows = {row[0]: row for row in result.rows}

@@ -3,11 +3,10 @@
 from conftest import run_once
 
 from repro.experiments.common import SMOKE
-from repro.experiments.table1_sensitivity import run
 
 
 def test_table1_sensitivity(benchmark):
-    result = run_once(benchmark, run, scale=SMOKE, workloads=["mcf"])
+    result = run_once(benchmark, "table1", scale=SMOKE, workloads=["mcf"])
     print()
     result.print()
     values = {(row[0], row[1]): row[2] for row in result.rows}

@@ -5,9 +5,16 @@ representative workload subset) and prints the table it produced.
 ``pytest benchmarks/ --benchmark-only`` therefore doubles as a quick
 reproduction pass; run ``repro-experiment all --scale small`` for the
 full-fidelity version.
+
+Benchmarks resolve experiments by registry id and drive them through
+the cell-execution engine serially and uncached, so the numbers measure
+simulation work rather than cache I/O.
 """
 
 import pytest
+
+from repro.experiments.exec import run_spec
+from repro.experiments.registry import get_spec
 
 # Representative subsets used by most benchmarks: one IFRM-heavy
 # workload (mcf), the SFRM star (omnetpp), and a write-heavy FWB/WB
@@ -26,6 +33,15 @@ def tiny_workloads():
     return list(TINY_WORKLOADS)
 
 
-def run_once(benchmark, fn, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+def run_once(benchmark, experiment, *, scale=None, workloads=None, **options):
+    """Run one registered experiment exactly once under benchmark timing.
+
+    ``experiment`` is a registry id (e.g. ``"fig06"``); extra keyword
+    arguments become spec options (e.g. fig12's
+    ``max_mixes_per_category``).
+    """
+    spec = get_spec(experiment)
+    kwargs = {"scale": scale, "workloads": workloads,
+              "options": options or None}
+    return benchmark.pedantic(run_spec, args=(spec,), kwargs=kwargs,
+                              rounds=1, iterations=1)

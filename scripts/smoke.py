@@ -1,34 +1,74 @@
-"""Developer smoke script: run small mixes on baseline and DAP."""
+"""Developer smoke script: run small mixes on baseline and DAP.
 
-import sys
+Drives baseline/dap cell pairs through the cell-execution engine, so it
+exercises the same parallel + cached path as `repro-experiment`:
+
+    PYTHONPATH=src python scripts/smoke.py mcf omnetpp --jobs 4
+"""
+
+import argparse
 import time
 
-from repro.experiments.common import SMOKE, get_scale, run_mix, scaled_config
+from repro.experiments.cellcache import CellCache, default_cache_dir
+from repro.experiments.common import get_scale, scaled_config
+from repro.experiments.exec import MixCell, execute_cells
 from repro.workloads.mixes import rate_mix
 
+POLICIES = ("baseline", "dap")
+DEFAULT_WORKLOADS = ["mcf", "libquantum", "omnetpp", "gcc.expr",
+                     "parboil-lbm", "milc"]
 
-def run(policy, name="mcf", scale=SMOKE):
-    mix = rate_mix(name)
-    config = scaled_config(scale, policy=policy)
-    t0 = time.time()
-    result = run_mix(mix, config, scale)
-    wall = time.time() - t0
+
+def report(name, policy, result):
     print(
         f"{name:16s} {policy:10s} ipc={result.mean_ipc:.3f} "
         f"cycles={result.cycles} mpki={result.mean_mpki:.1f} "
         f"hit={result.served_hit_rate:.2f} mmfrac={result.mm_cas_fraction:.2f} "
         f"lat={result.avg_read_latency:.0f} "
         f"tagmiss={result.tag_cache_miss_rate and round(result.tag_cache_miss_rate, 2)} "
-        f"gbps={result.delivered_gbps:.1f} wall={wall:.1f}s dec={result.dap_decisions}"
+        f"gbps={result.delivered_gbps:.1f} dec={result.dap_decisions}"
     )
-    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workloads", nargs="*", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+
+    scale = get_scale()
+    cache = None if args.no_cache else CellCache(
+        args.cache_dir or default_cache_dir())
+
+    cells = [
+        MixCell(f"{name}/{policy}", rate_mix(name),
+                scaled_config(scale, policy=policy), scale)
+        for name in args.workloads
+        for policy in POLICIES
+    ]
+    t0 = time.time()
+    results, stats = execute_cells(cells, jobs=args.jobs, cache=cache)
+    wall = time.time() - t0
+
+    for name in args.workloads:
+        for policy in POLICIES:
+            result = results.get(f"{name}/{policy}")
+            if result is None:
+                print(f"{name:16s} {policy:10s} FAILED")
+            else:
+                report(name, policy, result)
+        base = results.get(f"{name}/baseline")
+        dap = results.get(f"{name}/dap")
+        if base is not None and dap is not None:
+            print(f"  -> speedup "
+                  f"{dap.mean_ipc / max(base.mean_ipc, 1e-9):.3f}")
+    for failure in stats.failures:
+        print(f"error: {failure.label}: {failure.error}")
+    print(f"[{wall:.1f}s — {stats.summary()}]")
+    return 1 if stats.failed else 0
 
 
 if __name__ == "__main__":
-    workloads = sys.argv[1:] or ["mcf", "libquantum", "omnetpp", "gcc.expr",
-                                 "parboil-lbm", "milc"]
-    scale = get_scale()
-    for wl in workloads:
-        base = run("baseline", wl, scale)
-        dap = run("dap", wl, scale)
-        print(f"  -> speedup {dap.mean_ipc / max(base.mean_ipc, 1e-9):.3f}")
+    raise SystemExit(main())

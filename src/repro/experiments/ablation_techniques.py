@@ -13,14 +13,14 @@ FWB+WB, tag-thrashing ones only take off once SFRM joins.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
@@ -34,28 +34,48 @@ VARIANTS = (
 )
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Ablation — stacking DAP techniques",
-        headers=["workload"] + [label for label, _ in VARIANTS],
-        notes="normalized weighted speedup over the optimized baseline",
-    )
-    columns: dict[str, list[float]] = {label: [] for label, _ in VARIANTS}
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        base = run_mix(mix, scaled_config(scale, policy="baseline"), scale)
-        row = [name]
+        yield MixCell(f"{name}/baseline", mix,
+                      scaled_config(scale, policy="baseline"), scale)
         for label, policy in VARIANTS:
-            res = run_mix(mix, scaled_config(scale, policy=policy), scale)
-            ws = normalized_weighted_speedup(res.ipc, base.ipc)
+            yield MixCell(f"{name}/{label}", mix,
+                          scaled_config(scale, policy=policy), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    columns: dict[str, list[float]] = {label: [] for label, _ in VARIANTS}
+    for name in ctx.workloads:
+        base = ctx[f"{name}/baseline"]
+        row = [name]
+        for label, _ in VARIANTS:
+            ws = normalized_weighted_speedup(ctx[f"{name}/{label}"].ipc,
+                                             base.ipc)
             row.append(ws)
             columns[label].append(ws)
         result.add(*row)
     result.add("GMEAN", *[geomean(columns[label]) for label, _ in VARIANTS])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="ablation",
+    title="Ablation — stacking DAP techniques",
+    headers=("workload",) + tuple(label for label, _ in VARIANTS),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="normalized weighted speedup over the optimized baseline",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

@@ -14,6 +14,11 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.experiments.cellcache import (
+    ExecStats,
+    alone_ipc_key_parts,
+    cell_key,
+)
 from repro.hierarchy.cache_hierarchy import SramLevels
 from repro.hierarchy.system import GiB, SystemConfig, build_system
 from repro.metrics.speedup import ALONE_IPC_CACHE
@@ -137,9 +142,14 @@ def alone_ipc(profile_name: str, config: SystemConfig, scale: Scale) -> float:
 
     Used as the weighted-speedup reference for heterogeneous mixes; the
     reference platform is the supplied config with a single core.
+    Memoized in :data:`ALONE_IPC_CACHE` — an in-process dict layered
+    over the shared on-disk cell cache (when one is configured), so
+    parallel workers share references instead of recomputing per
+    process.
     """
-    key = (profile_name, f"{config.key()}/{scale.name}")
-    cached = ALONE_IPC_CACHE.get(key)
+    memo_key = (profile_name, f"{config.key()}/{scale.name}")
+    disk_key = cell_key(alone_ipc_key_parts(profile_name, config, scale))
+    cached = ALONE_IPC_CACHE.lookup(memo_key, disk_key)
     if cached is not None:
         return cached
     solo = replace(config, num_cores=1, policy="baseline")
@@ -153,7 +163,7 @@ def alone_ipc(profile_name: str, config: SystemConfig, scale: Scale) -> float:
         system.msc.warm_line(line, dirty)
     system.run()
     ipc = system.cores[0].ipc or 1e-9
-    ALONE_IPC_CACHE[key] = ipc
+    ALONE_IPC_CACHE.store(memo_key, ipc, disk_key)
     return ipc
 
 
@@ -173,6 +183,9 @@ class ExperimentResult:
     headers: list[str]
     rows: list[list] = field(default_factory=list)
     notes: str = ""
+    #: Filled in by the execution engine: the sweep's ExecStats
+    #: (cells executed / served from cache / failed).
+    stats: Optional[ExecStats] = field(default=None, repr=False, compare=False)
 
     def add(self, *values) -> None:
         self.rows.append(list(values))

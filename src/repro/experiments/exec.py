@@ -1,0 +1,373 @@
+"""Cell-based experiment execution engine.
+
+Every experiment decomposes into independent **simulation cells** — a
+pure ``(mix, SystemConfig, Scale, seed)`` tuple (or an alone-IPC
+reference, or a driver-level kernel measurement).  The engine:
+
+- fans cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``jobs=N``; serial in-process when ``jobs=1``),
+- memoizes each cell in a content-addressed on-disk JSON cache
+  (:mod:`repro.experiments.cellcache`), so repeated invocations — and
+  different experiments sharing a cell, e.g. the per-workload baseline
+  runs of fig06 and fig08 — never recompute,
+- survives per-cell failures and worker crashes: failures are recorded
+  (on disk, when caching) and reported at the end instead of aborting
+  the sweep; re-running with ``resume=True`` retries recorded failures
+  while serving every completed cell from the cache.
+
+Experiments describe themselves declaratively with
+:class:`ExperimentSpec`: a ``cells(scale, workloads)`` generator and a
+``render(cell_results)`` reducer replace the old imperative
+``module.run(scale)`` entry points.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.experiments import cellcache
+from repro.experiments.cellcache import (
+    CellCache,
+    CellFailure,
+    ExecStats,
+    alone_ipc_key_parts,
+    cell_key,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    alone_ipc,
+    get_scale,
+    run_mix,
+)
+from repro.hierarchy.system import SystemConfig
+from repro.workloads.mixes import Mix
+
+
+class CellExecutionError(ReproError):
+    """One or more cells of a sweep failed; the rest are cached."""
+
+    def __init__(self, message: str, failures: Sequence[CellFailure] = ()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MixCell:
+    """One multi-programmed simulation: build, warm, run, collect."""
+
+    label: str
+    mix: Mix
+    config: SystemConfig
+    scale: Scale
+    seed: int = 0
+    warm: bool = True
+
+    def key_parts(self) -> tuple:
+        # run_mix sizes the platform to the mix, so configs differing
+        # only in a to-be-replaced core count share a cell.
+        config = replace(self.config, num_cores=self.mix.num_cores)
+        return ("mix", self.mix.name, self.mix.members, config, self.scale,
+                self.seed, self.warm)
+
+    def execute(self):
+        return run_mix(self.mix, self.config, self.scale, warm=self.warm)
+
+
+@dataclass(frozen=True)
+class AloneIpcCell:
+    """One workload's alone-run IPC reference (single-core baseline)."""
+
+    label: str
+    profile: str
+    config: SystemConfig
+    scale: Scale
+
+    def key_parts(self) -> tuple:
+        return alone_ipc_key_parts(self.profile, self.config, self.scale)
+
+    def execute(self) -> float:
+        return alone_ipc(self.profile, self.config, self.scale)
+
+
+@dataclass(frozen=True)
+class TaskCell:
+    """Escape hatch for non-mix cells (Fig. 1 kernels, flat placements).
+
+    ``fn`` must be a module-level callable (picklable by reference) and
+    ``kwargs`` a tuple of ``(name, value)`` pairs of picklable,
+    canonicalizable values; the result must be JSON-serializable or a
+    registered result dataclass.
+    """
+
+    label: str
+    fn: Callable[..., Any]
+    kwargs: tuple = ()
+
+    def key_parts(self) -> tuple:
+        return ("task", self.fn.__module__, self.fn.__qualname__,
+                dict(self.kwargs))
+
+    def execute(self):
+        return self.fn(**dict(self.kwargs))
+
+
+Cell = Union[MixCell, AloneIpcCell, TaskCell]
+
+
+# ----------------------------------------------------------------------
+# Declarative experiment specification
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A paper artifact, described declaratively.
+
+    ``cells(scale, workloads, **options)`` yields the independent
+    simulation cells; ``render(cell_results)`` reduces their results to
+    the printed :class:`ExperimentResult`.  ``workload_aware`` declares
+    whether the experiment honours a ``--workloads`` restriction (the
+    registry replaces the runner's old hand-maintained set).
+    """
+
+    name: str
+    title: str
+    headers: tuple
+    cells: Callable[..., Iterable[Cell]]
+    render: Callable[["CellResults"], ExperimentResult]
+    workload_aware: bool = False
+    default_workloads: Optional[tuple] = None
+    notes: str = ""
+
+    def resolve_workloads(
+        self, workloads: Optional[Sequence[str]] = None
+    ) -> Optional[list]:
+        if not self.workload_aware:
+            return None
+        return list(workloads or self.default_workloads or ())
+
+
+@dataclass
+class CellResults:
+    """What a ``render`` reducer receives: results by cell label."""
+
+    spec: ExperimentSpec
+    scale: Scale
+    workloads: Optional[list]
+    options: dict
+    results: dict
+    stats: ExecStats
+
+    def __getitem__(self, label: str):
+        return self.results[label]
+
+    def get(self, label: str, default=None):
+        return self.results.get(label, default)
+
+    def new_result(self, notes: str = "") -> ExperimentResult:
+        """An empty table carrying the spec's title and headers."""
+        return ExperimentResult(
+            experiment=self.spec.title,
+            headers=list(self.spec.headers),
+            notes=notes or self.spec.notes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def _execute_one(cell: Cell, key: str, cache: Optional[CellCache]):
+    """Run one cell, writing the result (or failure) through the cache.
+
+    Returns ``(label, "ok", result)`` or ``(label, "error", message)``;
+    never raises, so pool futures only fail on worker death.
+    """
+    try:
+        if cache is not None:
+            # Another worker may have finished this cell (or its alone-IPC
+            # twin) since the parent scheduled it.
+            hit = cache.get_result(key)
+            if hit is not None:
+                return cell.label, "ok", hit
+        result = cell.execute()
+        if cache is not None:
+            cache.put_result(key, result, label=cell.label)
+        return cell.label, "ok", result
+    except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+        message = f"{type(exc).__name__}: {exc}"
+        if cache is not None:
+            try:
+                cache.put_failure(key, message, traceback.format_exc(),
+                                  label=cell.label)
+            except OSError:
+                pass
+        return cell.label, "error", message
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the shared cell cache."""
+    cellcache.configure_default(cache_dir)
+
+
+def _worker_run(cell: Cell, key: str, cache_dir: Optional[str]):
+    cache = CellCache(cache_dir) if cache_dir else None
+    return _execute_one(cell, key, cache)
+
+
+def _as_cache(cache) -> Optional[CellCache]:
+    if cache is None or isinstance(cache, CellCache):
+        return cache
+    return CellCache(cache)
+
+
+def execute_cells(
+    cells: Sequence[Cell],
+    *,
+    jobs: int = 1,
+    cache: Union[CellCache, str, None] = None,
+    resume: bool = False,
+) -> tuple[dict, ExecStats]:
+    """Run cells, returning ``(results by label, ExecStats)``.
+
+    Cells sharing a cache key (identical simulations under different
+    labels) execute once.  Per-cell failures never abort the sweep; they
+    are recorded in the stats (and, when caching, on disk — a later
+    invocation replays the failure instantly unless ``resume=True``
+    forces a retry).
+    """
+    cache = _as_cache(cache)
+    start = time.time()
+    stats = ExecStats(total=len(cells))
+    results: dict = {}
+    errors: dict = {}
+
+    labels = [cell.label for cell in cells]
+    if len(set(labels)) != len(labels):
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        raise ReproError(f"duplicate cell labels: {dupes}")
+
+    keys = {cell.label: cell_key(cell.key_parts()) for cell in cells}
+
+    # Serve what the cache already knows.
+    pending: list = []
+    for cell in cells:
+        key = keys[cell.label]
+        entry = cache.get(key) if cache is not None else None
+        if entry is not None and entry.get("status") == "ok":
+            results[cell.label] = cellcache.decode_result(entry["result"])
+            stats.cache_hits += 1
+        elif entry is not None and entry.get("status") == "error" and not resume:
+            errors[cell.label] = f"[recorded failure] {entry.get('error')}"
+            stats.replayed_failures += 1
+        else:
+            pending.append(cell)
+
+    # Deduplicate identical simulations within the sweep.
+    by_key: dict = {}
+    for cell in pending:
+        by_key.setdefault(keys[cell.label], []).append(cell)
+    unique = [group[0] for group in by_key.values()]
+
+    outcomes: dict = {}  # key -> (status, payload)
+    if unique:
+        if jobs > 1 and len(unique) > 1:
+            cache_dir = str(cache.root) if cache is not None else None
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(unique)),
+                initializer=_worker_init, initargs=(cache_dir,),
+            ) as pool:
+                futures = {
+                    pool.submit(_worker_run, cell, keys[cell.label], cache_dir):
+                    cell
+                    for cell in unique
+                }
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    try:
+                        label, status, payload = future.result()
+                    except BrokenProcessPool:
+                        label, status, payload = (
+                            cell.label, "error",
+                            "worker process crashed (killed or out of memory)",
+                        )
+                    except Exception as exc:  # pool plumbing failure
+                        label, status, payload = (
+                            cell.label, "error", f"{type(exc).__name__}: {exc}"
+                        )
+                    outcomes[keys[label]] = (status, payload)
+                    if status == "ok":
+                        stats.executed += 1
+        else:
+            for cell in unique:
+                label, status, payload = _execute_one(
+                    cell, keys[cell.label], cache)
+                outcomes[keys[label]] = (status, payload)
+                if status == "ok":
+                    stats.executed += 1
+
+    # Fan unique outcomes back out to every label sharing the key.
+    for cell in pending:
+        status, payload = outcomes[keys[cell.label]]
+        if status == "ok":
+            results[cell.label] = payload
+        else:
+            errors[cell.label] = payload
+
+    stats.failures = [CellFailure(label, errors[label]) for label in labels
+                      if label in errors]
+    stats.elapsed = time.time() - start
+    return results, stats
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    scale: Union[Scale, str, None] = None,
+    workloads: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache: Union[CellCache, str, None] = None,
+    resume: bool = False,
+    options: Optional[dict] = None,
+) -> ExperimentResult:
+    """Execute a spec's cells and render its table.
+
+    The returned :class:`ExperimentResult` carries the sweep's
+    :class:`ExecStats` in ``result.stats`` (the runner's cache-hit
+    counter).  Raises :class:`CellExecutionError` if any cell failed —
+    every other cell is already in the cache, so a re-run (with
+    ``resume=True`` to retry recorded failures) resumes the sweep
+    instead of restarting it.
+    """
+    if not isinstance(scale, Scale):
+        scale = get_scale(scale)
+    workloads = spec.resolve_workloads(workloads)
+    options = dict(options or {})
+    cells = list(spec.cells(scale, workloads, **options))
+    results, stats = execute_cells(cells, jobs=jobs, cache=cache,
+                                   resume=resume)
+    if stats.failures:
+        failed = ", ".join(f.label for f in stats.failures[:8])
+        more = "" if stats.failed <= 8 else f" (+{stats.failed - 8} more)"
+        raise CellExecutionError(
+            f"{spec.name}: {stats.failed} of {stats.total} cells failed "
+            f"[{failed}{more}]; completed cells are cached — re-run with "
+            f"--resume to retry recorded failures. "
+            f"First error: {stats.failures[0].error}",
+            stats.failures,
+        )
+    ctx = CellResults(spec=spec, scale=scale, workloads=workloads,
+                      options=options, results=results, stats=stats)
+    result = spec.render(ctx)
+    result.stats = stats
+    return result

@@ -18,10 +18,16 @@ deliver more — the Fig. 1 lesson, replayed at page granularity.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.engine.event_queue import Simulator
-from repro.experiments.common import ExperimentResult, Scale, get_scale
+from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    TaskCell,
+    run_spec,
+)
 from repro.flat.controller import FlatMemoryController
 from repro.flat.placement import PAGE_LINES, make_placement
 from repro.mem.configs import ddr4_2400, hbm_102
@@ -30,8 +36,9 @@ from repro.mem.device import MemoryDevice
 POLICIES = ("first-touch", "bandwidth-interleave", "adaptive")
 
 
-def _run_policy(policy_name: str, total_reads: int, outstanding: int = 192,
-                working_pages: int = 512, seed: int = 7) -> dict[str, float]:
+def run_placement(policy_name: str, total_reads: int, outstanding: int = 192,
+                  working_pages: int = 512, seed: int = 7) -> dict[str, float]:
+    """Worker entry: measure one placement policy (a TaskCell body)."""
     sim = Simulator()
     fast = MemoryDevice(sim, hbm_102())
     slow = MemoryDevice(sim, ddr4_2400())
@@ -76,21 +83,42 @@ def _run_policy(policy_name: str, total_reads: int, outstanding: int = 192,
     }
 
 
-def run(scale: Optional[Scale] = None) -> ExperimentResult:
-    scale = scale or get_scale()
+def cells(scale: Scale, workloads=None) -> Iterator[TaskCell]:
+    for policy in POLICIES:
+        yield TaskCell(
+            policy, run_placement,
+            kwargs=(("policy_name", policy),
+                    ("total_reads", scale.kernel_reads * 4)),
+        )
+
+
+def render(ctx: CellResults) -> ExperimentResult:
     optimal = 102.4 / (102.4 + 38.4)
-    result = ExperimentResult(
-        experiment="Extension — OS-visible flat memory (Eq. 3 at page level)",
-        headers=["placement", "delivered_gbps", "steady_state_gbps",
-                 "fast_traffic_frac", "migrations"],
+    result = ctx.new_result(
         notes=f"uniform pages fitting the fast tier; optimal fast fraction "
               f"= {optimal:.3f}",
     )
     for policy in POLICIES:
-        metrics = _run_policy(policy, total_reads=scale.kernel_reads * 4)
+        metrics = ctx[policy]
         result.add(policy, metrics["gbps"], metrics["late_gbps"],
                    metrics["fast_fraction"], metrics["migrations"])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="flat",
+    title="Extension — OS-visible flat memory (Eq. 3 at page level)",
+    headers=("placement", "delivered_gbps", "steady_state_gbps",
+             "fast_traffic_frac", "migrations"),
+    cells=cells,
+    render=render,
+    workload_aware=False,
+)
+
+
+def run(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale)
 
 
 def main() -> None:

@@ -15,7 +15,7 @@ from :mod:`repro.core.bandwidth_model` are printed alongside.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.cache.sectored import SectoredCacheArray
 from repro.cache.tag_cache import TagCache
@@ -23,7 +23,13 @@ from repro.core.bandwidth_model import (
     analytic_dram_cache_read_bw,
     analytic_edram_cache_read_bw,
 )
-from repro.experiments.common import ExperimentResult, Scale, get_scale
+from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    TaskCell,
+    run_spec,
+)
 from repro.hierarchy.msc_edram import EdramMscController
 from repro.hierarchy.msc_sectored import SectoredMscController
 from repro.mem.configs import ddr4_2400, edram_channels, hbm_102
@@ -51,20 +57,33 @@ def _edram_factory(sim):
     return EdramMscController(sim, read_dev, write_dev, mm_dev, array)
 
 
-def run(scale: Optional[Scale] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    result = ExperimentResult(
-        experiment="Fig. 1 — delivered bandwidth vs hit rate (GB/s)",
-        headers=["hit_rate", "dram$_sim", "dram$_analytic",
-                 "edram_sim", "edram_analytic"],
-        notes=(f"read kernel, {scale.kernel_reads} reads, "
+_FACTORIES = {"dram": _dram_cache_factory, "edram": _edram_factory}
+
+
+def kernel_cell(kind: str, hit_rate: float, total_reads: int):
+    """Worker entry: one read-kernel measurement (a TaskCell body)."""
+    return run_read_kernel(_FACTORIES[kind], hit_rate,
+                           total_reads=total_reads)
+
+
+def cells(scale: Scale, workloads=None) -> Iterator[TaskCell]:
+    for hit_rate in HIT_RATES:
+        for kind in ("dram", "edram"):
+            yield TaskCell(
+                f"{kind}/{hit_rate:.0%}", kernel_cell,
+                kwargs=(("kind", kind), ("hit_rate", hit_rate),
+                        ("total_reads", scale.kernel_reads)),
+            )
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result(
+        notes=(f"read kernel, {ctx.scale.kernel_reads} reads, "
                "HBM 102.4 / eDRAM 2x51.2 / DDR4 38.4 GB/s"),
     )
     for hit_rate in HIT_RATES:
-        dram = run_read_kernel(_dram_cache_factory, hit_rate,
-                               total_reads=scale.kernel_reads)
-        edram = run_read_kernel(_edram_factory, hit_rate,
-                                total_reads=scale.kernel_reads)
+        dram = ctx[f"dram/{hit_rate:.0%}"]
+        edram = ctx[f"edram/{hit_rate:.0%}"]
         result.add(
             f"{hit_rate:.0%}",
             dram.delivered_gbps,
@@ -73,6 +92,22 @@ def run(scale: Optional[Scale] = None) -> ExperimentResult:
             analytic_edram_cache_read_bw(hit_rate, 51.2, 38.4),
         )
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig01",
+    title="Fig. 1 — delivered bandwidth vs hit rate (GB/s)",
+    headers=("hit_rate", "dram$_sim", "dram$_analytic",
+             "edram_sim", "edram_analytic"),
+    cells=cells,
+    render=render,
+    workload_aware=False,
+)
+
+
+def run(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale)
 
 
 def main() -> None:

@@ -10,14 +10,14 @@ evidence that hit rate alone does not determine performance.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
@@ -33,26 +33,43 @@ def edram_config(scale: Scale, capacity_mb: int, policy: str = "baseline"):
     )
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 2 — 512 MB vs 256 MB eDRAM cache",
-        headers=["workload", "norm_ws_512/256", "miss_rate_drop_pp"],
-        notes="rate-8 mixes; positive drop = fewer misses at 512 MB",
-    )
-    speedups = []
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        small = run_mix(mix, edram_config(scale, 256), scale)
-        big = run_mix(mix, edram_config(scale, 512), scale)
+        yield MixCell(f"{name}/256MB", mix, edram_config(scale, 256), scale)
+        yield MixCell(f"{name}/512MB", mix, edram_config(scale, 512), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    speedups = []
+    for name in ctx.workloads:
+        small = ctx[f"{name}/256MB"]
+        big = ctx[f"{name}/512MB"]
         ws = normalized_weighted_speedup(big.ipc, small.ipc)
         drop_pp = (big.served_hit_rate - small.served_hit_rate) * 100
         result.add(name, ws, drop_pp)
         speedups.append(ws)
     result.add("GMEAN", geomean(speedups), "")
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig02",
+    title="Fig. 2 — 512 MB vs 256 MB eDRAM cache",
+    headers=("workload", "norm_ws_512/256", "miss_rate_drop_pp"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="rate-8 mixes; positive drop = fewer misses at 512 MB",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

@@ -12,14 +12,14 @@ substantially from the doubling; the five insensitive ones sit near
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.mem.configs import hbm_102, hbm_204
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
@@ -27,20 +27,22 @@ from repro.workloads.mixes import rate_mix
 from repro.workloads.profiles import BANDWIDTH_INSENSITIVE, BANDWIDTH_SENSITIVE
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or (BANDWIDTH_SENSITIVE + BANDWIDTH_INSENSITIVE))
-    result = ExperimentResult(
-        experiment="Fig. 4 — speedup from doubling DRAM cache bandwidth",
-        headers=["workload", "class", "ws_204.8/102.4", "l3_mpki"],
-        notes="rate-8 mixes, 4 GB sectored DRAM cache",
-    )
-    sensitive_ws, insensitive_ws = [], []
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        base = run_mix(mix, scaled_config(scale, msc_dram=hbm_102()), scale)
-        fast = run_mix(mix, scaled_config(scale, msc_dram=hbm_204()), scale)
+        yield MixCell(f"{name}/102.4", mix,
+                      scaled_config(scale, msc_dram=hbm_102()), scale)
+        yield MixCell(f"{name}/204.8", mix,
+                      scaled_config(scale, msc_dram=hbm_204()), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    sensitive_ws, insensitive_ws = [], []
+    for name in ctx.workloads:
+        mix = rate_mix(name)
+        base = ctx[f"{name}/102.4"]
+        fast = ctx[f"{name}/204.8"]
         ws = normalized_weighted_speedup(fast.ipc, base.ipc)
         cls = mix.category.replace("bandwidth-", "")
         result.add(name, cls, ws, base.mean_mpki)
@@ -50,6 +52,24 @@ def run(scale: Optional[Scale] = None,
     if insensitive_ws:
         result.add("GMEAN-insensitive", "", geomean(insensitive_ws), "")
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig04",
+    title="Fig. 4 — speedup from doubling DRAM cache bandwidth",
+    headers=("workload", "class", "ws_204.8/102.4", "l3_mpki"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE) + tuple(BANDWIDTH_INSENSITIVE),
+    notes="rate-8 mixes, 4 GB sectored DRAM cache",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

@@ -10,39 +10,58 @@ astar.BigLakes and omnetpp show the *highest* tag-cache miss rates
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
 from repro.workloads.profiles import BANDWIDTH_SENSITIVE
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 5 — effect of the SRAM tag cache",
-        headers=["workload", "ws_tagcache/none", "tag_miss_rate"],
-        notes="rate-8 mixes, sectored DRAM cache 4 GB / 102.4 GB/s",
-    )
-    speedups = []
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        without = run_mix(mix, scaled_config(scale, use_tag_cache=False), scale)
-        with_tc = run_mix(mix, scaled_config(scale, use_tag_cache=True), scale)
+        yield MixCell(f"{name}/no-tc", mix,
+                      scaled_config(scale, use_tag_cache=False), scale)
+        yield MixCell(f"{name}/tc", mix,
+                      scaled_config(scale, use_tag_cache=True), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    speedups = []
+    for name in ctx.workloads:
+        without = ctx[f"{name}/no-tc"]
+        with_tc = ctx[f"{name}/tc"]
         ws = normalized_weighted_speedup(with_tc.ipc, without.ipc)
         result.add(name, ws, with_tc.tag_cache_miss_rate or 0.0)
         speedups.append(ws)
     result.add("GMEAN", geomean(speedups), "")
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig05",
+    title="Fig. 5 — effect of the SRAM tag cache",
+    headers=("workload", "ws_tagcache/none", "tag_miss_rate"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="rate-8 mixes, sectored DRAM cache 4 GB / 102.4 GB/s",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

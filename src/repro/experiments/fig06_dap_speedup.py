@@ -12,34 +12,35 @@ savings.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
 from repro.workloads.profiles import BANDWIDTH_SENSITIVE
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 6 — DAP speedup and read-miss latency",
-        headers=["workload", "norm_ws_dap", "norm_read_latency"],
-        notes="rate-8 mixes, 4 GB / 102.4 GB/s sectored DRAM cache, W=64 E=0.75",
-    )
-    speedups = []
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        base = run_mix(mix, scaled_config(scale, policy="baseline"), scale)
-        dap = run_mix(mix, scaled_config(scale, policy="dap"), scale)
+        yield MixCell(f"{name}/baseline", mix,
+                      scaled_config(scale, policy="baseline"), scale)
+        yield MixCell(f"{name}/dap", mix,
+                      scaled_config(scale, policy="dap"), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    speedups = []
+    for name in ctx.workloads:
+        base = ctx[f"{name}/baseline"]
+        dap = ctx[f"{name}/dap"]
         ws = normalized_weighted_speedup(dap.ipc, base.ipc)
         lat = (dap.avg_read_latency / base.avg_read_latency
                if base.avg_read_latency else 1.0)
@@ -47,6 +48,24 @@ def run(scale: Optional[Scale] = None,
         speedups.append(ws)
     result.add("GMEAN", geomean(speedups), "")
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig06",
+    title="Fig. 6 — DAP speedup and read-miss latency",
+    headers=("workload", "norm_ws_dap", "norm_read_latency"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="rate-8 mixes, 4 GB / 102.4 GB/s sectored DRAM cache, W=64 E=0.75",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

@@ -9,14 +9,14 @@ SFRM 25%.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.workloads.mixes import rate_mix
 from repro.workloads.profiles import BANDWIDTH_SENSITIVE
@@ -24,28 +24,43 @@ from repro.workloads.profiles import BANDWIDTH_SENSITIVE
 TECHNIQUES = ("fwb", "wb", "ifrm", "sfrm")
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 7 — DAP decision mix",
-        headers=["workload", "fwb", "wb", "ifrm", "sfrm"],
-        notes="fraction of all applied DAP decisions",
-    )
-    totals = {t: 0.0 for t in TECHNIQUES}
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
-        mix = rate_mix(name)
-        dap = run_mix(mix, scaled_config(scale, policy="dap"), scale)
-        decisions = dap.dap_decisions
+        yield MixCell(f"{name}/dap", rate_mix(name),
+                      scaled_config(scale, policy="dap"), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    totals = {t: 0.0 for t in TECHNIQUES}
+    for name in ctx.workloads:
+        decisions = ctx[f"{name}/dap"].dap_decisions
         total = sum(decisions.get(t, 0) for t in TECHNIQUES) or 1
         fractions = {t: decisions.get(t, 0) / total for t in TECHNIQUES}
         result.add(name, *[fractions[t] for t in TECHNIQUES])
         for t in TECHNIQUES:
             totals[t] += fractions[t]
-    n = len(workloads)
+    n = len(ctx.workloads)
     result.add("MEAN", *[totals[t] / n for t in TECHNIQUES])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig07",
+    title="Fig. 7 — DAP decision mix",
+    headers=("workload", "fwb", "wb", "ifrm", "sfrm"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="fraction of all applied DAP decisions",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

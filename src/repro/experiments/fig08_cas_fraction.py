@@ -14,45 +14,65 @@ bandwidth.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.core.bandwidth_model import optimal_mm_cas_fraction
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.workloads.mixes import rate_mix
 from repro.workloads.profiles import BANDWIDTH_SENSITIVE
 
+_POLICIES = ("baseline", "dap-fwb-wb", "dap")
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    optimal = optimal_mm_cas_fraction(102.4, 38.4)
-    result = ExperimentResult(
-        experiment="Fig. 8 — main-memory CAS fraction and hit rates",
-        headers=["workload", "mm_frac_base", "mm_frac_dap",
-                 "hit_base", "hit_fwb_wb", "hit_dap"],
-        notes=f"optimal MM CAS fraction = {optimal:.3f}",
-    )
-    sums = [0.0] * 5
+
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        base = run_mix(mix, scaled_config(scale, policy="baseline"), scale)
-        fwbwb = run_mix(mix, scaled_config(scale, policy="dap-fwb-wb"), scale)
-        dap = run_mix(mix, scaled_config(scale, policy="dap"), scale)
+        for policy in _POLICIES:
+            yield MixCell(f"{name}/{policy}", mix,
+                          scaled_config(scale, policy=policy), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    optimal = optimal_mm_cas_fraction(102.4, 38.4)
+    result = ctx.new_result(
+        notes=f"optimal MM CAS fraction = {optimal:.3f}")
+    sums = [0.0] * 5
+    for name in ctx.workloads:
+        base = ctx[f"{name}/baseline"]
+        fwbwb = ctx[f"{name}/dap-fwb-wb"]
+        dap = ctx[f"{name}/dap"]
         row = [base.mm_cas_fraction, dap.mm_cas_fraction,
                base.served_hit_rate, fwbwb.served_hit_rate,
                dap.served_hit_rate]
         result.add(name, *row)
         sums = [s + v for s, v in zip(sums, row)]
-    n = len(workloads)
+    n = len(ctx.workloads)
     result.add("MEAN", *[s / n for s in sums])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig08",
+    title="Fig. 8 — main-memory CAS fraction and hit rates",
+    headers=("workload", "mm_frac_base", "mm_frac_dap",
+             "hit_base", "hit_fwb_wb", "hit_dap"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

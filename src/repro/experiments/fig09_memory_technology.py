@@ -12,14 +12,14 @@ raises it (the optimal partition sends more to main memory).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.mem.configs import ddr4_2400, ddr4_2400_no_io, ddr4_3200, lpddr4_2400
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
@@ -34,32 +34,50 @@ MEMORIES = (
 )
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 9 — sensitivity to main-memory technology",
-        headers=["workload"] + [name for name, _ in MEMORIES],
-        notes="DAP normalized to the same-technology baseline",
-    )
-    per_memory: dict[str, list[float]] = {name: [] for name, _ in MEMORIES}
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        row = [name]
         for mem_name, factory in MEMORIES:
-            base = run_mix(
-                mix, scaled_config(scale, policy="baseline",
-                                   mm_dram=factory()), scale)
-            dap = run_mix(
-                mix, scaled_config(scale, policy="dap",
-                                   mm_dram=factory()), scale)
+            for policy in ("baseline", "dap"):
+                yield MixCell(
+                    f"{name}/{mem_name}/{policy}", mix,
+                    scaled_config(scale, policy=policy, mm_dram=factory()),
+                    scale,
+                )
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    per_memory: dict[str, list[float]] = {name: [] for name, _ in MEMORIES}
+    for name in ctx.workloads:
+        row = [name]
+        for mem_name, _ in MEMORIES:
+            base = ctx[f"{name}/{mem_name}/baseline"]
+            dap = ctx[f"{name}/{mem_name}/dap"]
             ws = normalized_weighted_speedup(dap.ipc, base.ipc)
             row.append(ws)
             per_memory[mem_name].append(ws)
         result.add(*row)
     result.add("GMEAN", *[geomean(per_memory[m]) for m, _ in MEMORIES])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig09",
+    title="Fig. 9 — sensitivity to main-memory technology",
+    headers=("workload",) + tuple(name for name, _ in MEMORIES),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="DAP normalized to the same-technology baseline",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

@@ -12,14 +12,14 @@ in the cache anyway).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.hierarchy.system import GiB
 from repro.mem.configs import hbm_102, hbm_128, hbm_204
@@ -29,42 +29,69 @@ from repro.workloads.profiles import BANDWIDTH_SENSITIVE
 
 CAPACITIES_GB = (2, 4, 8)
 BANDWIDTHS = (("102.4", hbm_102), ("128", hbm_128), ("204.8", hbm_204))
+_CAP_HEADERS = tuple(f"cap_{c}GB" for c in CAPACITIES_GB)
+_BW_HEADERS = tuple(f"bw_{b}" for b, _ in BANDWIDTHS)
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    cap_headers = [f"cap_{c}GB" for c in CAPACITIES_GB]
-    bw_headers = [f"bw_{b}" for b, _ in BANDWIDTHS]
-    result = ExperimentResult(
-        experiment="Fig. 10 — DRAM cache capacity and bandwidth sweeps",
-        headers=["workload"] + cap_headers + bw_headers,
-        notes="DAP normalized to the matching baseline",
-    )
-    columns: dict[str, list[float]] = {h: [] for h in cap_headers + bw_headers}
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
+        for policy in ("baseline", "dap"):
+            for cap in CAPACITIES_GB:
+                yield MixCell(
+                    f"{name}/cap{cap}GB/{policy}", mix,
+                    scaled_config(scale, policy=policy,
+                                  paper_capacity=cap * GiB),
+                    scale,
+                )
+            for label, factory in BANDWIDTHS:
+                yield MixCell(
+                    f"{name}/bw{label}/{policy}", mix,
+                    scaled_config(scale, policy=policy, msc_dram=factory()),
+                    scale,
+                )
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    columns: dict[str, list[float]] = {
+        h: [] for h in _CAP_HEADERS + _BW_HEADERS}
+    for name in ctx.workloads:
         row = [name]
-        for cap, header in zip(CAPACITIES_GB, cap_headers):
-            base = run_mix(mix, scaled_config(
-                scale, policy="baseline", paper_capacity=cap * GiB), scale)
-            dap = run_mix(mix, scaled_config(
-                scale, policy="dap", paper_capacity=cap * GiB), scale)
+        for cap, header in zip(CAPACITIES_GB, _CAP_HEADERS):
+            base = ctx[f"{name}/cap{cap}GB/baseline"]
+            dap = ctx[f"{name}/cap{cap}GB/dap"]
             ws = normalized_weighted_speedup(dap.ipc, base.ipc)
             row.append(ws)
             columns[header].append(ws)
-        for (label, factory), header in zip(BANDWIDTHS, bw_headers):
-            base = run_mix(mix, scaled_config(
-                scale, policy="baseline", msc_dram=factory()), scale)
-            dap = run_mix(mix, scaled_config(
-                scale, policy="dap", msc_dram=factory()), scale)
+        for (label, _), header in zip(BANDWIDTHS, _BW_HEADERS):
+            base = ctx[f"{name}/bw{label}/baseline"]
+            dap = ctx[f"{name}/bw{label}/dap"]
             ws = normalized_weighted_speedup(dap.ipc, base.ipc)
             row.append(ws)
             columns[header].append(ws)
         result.add(*row)
-    result.add("GMEAN", *[geomean(columns[h]) for h in cap_headers + bw_headers])
+    result.add("GMEAN",
+               *[geomean(columns[h]) for h in _CAP_HEADERS + _BW_HEADERS])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig10",
+    title="Fig. 10 — DRAM cache capacity and bandwidth sweeps",
+    headers=("workload",) + _CAP_HEADERS + _BW_HEADERS,
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="DAP normalized to the matching baseline",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

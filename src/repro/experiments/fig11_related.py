@@ -10,14 +10,14 @@ DAP clearly wins.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
@@ -26,28 +26,46 @@ from repro.workloads.profiles import BANDWIDTH_SENSITIVE
 POLICIES = ("sbd", "sbd-wt", "batman", "dap")
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 11 — comparison with SBD, SBD-WT and BATMAN",
-        headers=["workload"] + list(POLICIES),
-        notes="normalized weighted speedup over the optimized baseline",
-    )
-    columns: dict[str, list[float]] = {p: [] for p in POLICIES}
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        base = run_mix(mix, scaled_config(scale, policy="baseline"), scale)
+        for policy in ("baseline",) + POLICIES:
+            yield MixCell(f"{name}/{policy}", mix,
+                          scaled_config(scale, policy=policy), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    columns: dict[str, list[float]] = {p: [] for p in POLICIES}
+    for name in ctx.workloads:
+        base = ctx[f"{name}/baseline"]
         row = [name]
         for policy in POLICIES:
-            run_result = run_mix(mix, scaled_config(scale, policy=policy), scale)
-            ws = normalized_weighted_speedup(run_result.ipc, base.ipc)
+            ws = normalized_weighted_speedup(ctx[f"{name}/{policy}"].ipc,
+                                             base.ipc)
             row.append(ws)
             columns[policy].append(ws)
         result.add(*row)
     result.add("GMEAN", *[geomean(columns[p]) for p in POLICIES])
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig11",
+    title="Fig. 11 — comparison with SBD, SBD-WT and BATMAN",
+    headers=("workload",) + POLICIES,
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="normalized weighted speedup over the optimized baseline",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

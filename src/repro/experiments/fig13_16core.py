@@ -10,14 +10,14 @@ Expected shape: DAP's benefit persists at scale (paper: 14.6% average).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.hierarchy.system import GiB
 from repro.mem.configs import ddr4_3200, hbm_204
@@ -38,25 +38,43 @@ def sixteen_core_config(scale: Scale, policy: str):
     return replace(config, sram=sram)
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Fig. 13 — DAP on a 16-core system",
-        headers=["workload", "norm_ws_dap"],
-        notes="rate-16, 8 GB / 204.8 GB/s DRAM cache, DDR4-3200",
-    )
-    speedups = []
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name, ways=16)
-        base = run_mix(mix, sixteen_core_config(scale, "baseline"), scale)
-        dap = run_mix(mix, sixteen_core_config(scale, "dap"), scale)
+        for policy in ("baseline", "dap"):
+            yield MixCell(f"{name}/{policy}", mix,
+                          sixteen_core_config(scale, policy), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    speedups = []
+    for name in ctx.workloads:
+        base = ctx[f"{name}/baseline"]
+        dap = ctx[f"{name}/dap"]
         ws = normalized_weighted_speedup(dap.ipc, base.ipc)
         result.add(name, ws)
         speedups.append(ws)
     result.add("GMEAN", geomean(speedups))
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig13",
+    title="Fig. 13 — DAP on a 16-core system",
+    headers=("workload", "norm_ws_dap"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="rate-16, 8 GB / 204.8 GB/s DRAM cache, DDR4-3200",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

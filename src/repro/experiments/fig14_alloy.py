@@ -12,15 +12,15 @@ so B_MS$ = 2/3 x 102.4 GB/s).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.core.bandwidth_model import optimal_mm_cas_fraction
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
@@ -31,23 +31,23 @@ def alloy_config(scale: Scale, policy: str):
     return scaled_config(scale, policy=policy, msc_kind="alloy")
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    optimal = optimal_mm_cas_fraction(102.4 * 2 / 3, 38.4)
-    result = ExperimentResult(
-        experiment="Fig. 14 — Alloy cache: BEAR vs DAP",
-        headers=["workload", "ws_bear", "ws_dap",
-                 "mm_frac_base", "mm_frac_bear", "mm_frac_dap"],
-        notes=f"optimal Alloy MM CAS fraction = {optimal:.3f}",
-    )
-    bear_ws, dap_ws = [], []
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        base = run_mix(mix, alloy_config(scale, "baseline"), scale)
-        bear = run_mix(mix, alloy_config(scale, "bear"), scale)
-        dap = run_mix(mix, alloy_config(scale, "dap"), scale)
+        for policy in ("baseline", "bear", "dap"):
+            yield MixCell(f"{name}/{policy}", mix,
+                          alloy_config(scale, policy), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    optimal = optimal_mm_cas_fraction(102.4 * 2 / 3, 38.4)
+    result = ctx.new_result(
+        notes=f"optimal Alloy MM CAS fraction = {optimal:.3f}")
+    bear_ws, dap_ws = [], []
+    for name in ctx.workloads:
+        base = ctx[f"{name}/baseline"]
+        bear = ctx[f"{name}/bear"]
+        dap = ctx[f"{name}/dap"]
         ws_b = normalized_weighted_speedup(bear.ipc, base.ipc)
         ws_d = normalized_weighted_speedup(dap.ipc, base.ipc)
         result.add(name, ws_b, ws_d, base.mm_cas_fraction,
@@ -56,6 +56,24 @@ def run(scale: Optional[Scale] = None,
         dap_ws.append(ws_d)
     result.add("GMEAN", geomean(bear_ws), geomean(dap_ws), "", "", "")
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig14",
+    title="Fig. 14 — Alloy cache: BEAR vs DAP",
+    headers=("workload", "ws_bear", "ws_dap",
+             "mm_frac_base", "mm_frac_bear", "mm_frac_dap"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

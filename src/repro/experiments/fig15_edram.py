@@ -11,9 +11,15 @@ hit rate but only +2% performance while DAP gets +11%).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, Scale, get_scale, run_mix
+from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
+)
 from repro.experiments.fig02_edram_capacity import edram_config
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
@@ -24,35 +30,55 @@ SYSTEMS = (
     ("512MB_base", 512, "baseline"),
     ("512MB_dap", 512, "dap"),
 )
+_WS_HEADERS = tuple(f"ws_{name}" for name, _, _ in SYSTEMS)
+_HIT_HEADERS = tuple(f"dhit_{name}" for name, _, _ in SYSTEMS)
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    ws_headers = [f"ws_{name}" for name, _, _ in SYSTEMS]
-    hit_headers = [f"dhit_{name}" for name, _, _ in SYSTEMS]
-    result = ExperimentResult(
-        experiment="Fig. 15 — DAP on the eDRAM cache",
-        headers=["workload"] + ws_headers + hit_headers,
-        notes="normalized to the 256 MB baseline; dhit in percentage points",
-    )
-    columns: dict[str, list[float]] = {h: [] for h in ws_headers}
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
     for name in workloads:
         mix = rate_mix(name)
-        ref = run_mix(mix, edram_config(scale, 256, "baseline"), scale)
+        yield MixCell(f"{name}/256MB_base", mix,
+                      edram_config(scale, 256, "baseline"), scale)
+        for label, capacity, policy in SYSTEMS:
+            yield MixCell(f"{name}/{label}", mix,
+                          edram_config(scale, capacity, policy), scale)
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+    columns: dict[str, list[float]] = {h: [] for h in _WS_HEADERS}
+    for name in ctx.workloads:
+        ref = ctx[f"{name}/256MB_base"]
         row = [name]
         hits = []
-        for label, capacity, policy in SYSTEMS:
-            res = run_mix(mix, edram_config(scale, capacity, policy), scale)
+        for label, _, _ in SYSTEMS:
+            res = ctx[f"{name}/{label}"]
             ws = normalized_weighted_speedup(res.ipc, ref.ipc)
             row.append(ws)
             columns[f"ws_{label}"].append(ws)
             hits.append((res.served_hit_rate - ref.served_hit_rate) * 100)
         result.add(*(row + hits))
-    result.add("GMEAN", *[geomean(columns[h]) for h in ws_headers],
+    result.add("GMEAN", *[geomean(columns[h]) for h in _WS_HEADERS],
                "", "", "")
     return result
+
+
+SPEC = ExperimentSpec(
+    name="fig15",
+    title="Fig. 15 — DAP on the eDRAM cache",
+    headers=("workload",) + _WS_HEADERS + _HIT_HEADERS,
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    notes="normalized to the 256 MB baseline; dhit in percentage points",
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

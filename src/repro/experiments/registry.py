@@ -1,0 +1,55 @@
+"""The single registry of declarative experiment specs.
+
+Maps experiment ids to the modules defining their
+:class:`~repro.experiments.exec.ExperimentSpec` (exposed as a
+module-level ``SPEC``).  Modules import lazily, so listing ids stays
+cheap; resolving a spec imports one module.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Iterator
+
+from repro.errors import ReproError
+
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_bandwidth_vs_hitrate",
+    "fig02": "repro.experiments.fig02_edram_capacity",
+    "fig04": "repro.experiments.fig04_bandwidth_sensitivity",
+    "fig05": "repro.experiments.fig05_tag_cache",
+    "fig06": "repro.experiments.fig06_dap_speedup",
+    "fig07": "repro.experiments.fig07_dap_decisions",
+    "fig08": "repro.experiments.fig08_cas_fraction",
+    "table1": "repro.experiments.table1_sensitivity",
+    "fig09": "repro.experiments.fig09_memory_technology",
+    "fig10": "repro.experiments.fig10_capacity_bandwidth",
+    "fig11": "repro.experiments.fig11_related",
+    "fig12": "repro.experiments.fig12_all_workloads",
+    "fig13": "repro.experiments.fig13_16core",
+    "fig14": "repro.experiments.fig14_alloy",
+    "fig15": "repro.experiments.fig15_edram",
+    "ablation": "repro.experiments.ablation_techniques",
+    "flat": "repro.experiments.ext_flat_memory",
+}
+
+
+def get_spec(name: str):
+    """Resolve one experiment id to its ExperimentSpec."""
+    if name not in EXPERIMENTS:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[name])
+    spec = getattr(module, "SPEC", None)
+    if spec is None:
+        raise ReproError(
+            f"experiment module {EXPERIMENTS[name]} defines no SPEC"
+        )
+    return spec
+
+
+def iter_specs() -> Iterator:
+    """Every registered spec, in registry order."""
+    for name in EXPERIMENTS:
+        yield get_spec(name)

@@ -2,61 +2,75 @@
 
 Usage::
 
-    repro-experiment fig06                # one experiment, default scale
-    repro-experiment all --scale small    # everything the paper reports
+    repro-experiment fig06                     # one experiment, default scale
+    repro-experiment all --scale small         # everything the paper reports
     repro-experiment table1 fig08 --workloads mcf omnetpp
+    repro-experiment fig06 fig08 --jobs 8      # fan cells out over processes
+    repro-experiment fig12 --resume            # retry recorded cell failures
+    repro-experiment --list                    # registered experiment specs
 
-Each experiment prints the paper-artifact table it regenerates.
+Each experiment decomposes into independent simulation cells executed
+by :mod:`repro.experiments.exec` — in parallel with ``--jobs N`` and
+memoized in a content-addressed on-disk cache (``--cache-dir``,
+``--no-cache``), so re-running an experiment, or running two experiments
+that share cells (fig06 and fig08 share every baseline run), only
+simulates what has never been simulated before.  Each experiment prints
+the paper-artifact table it regenerates plus a run summary with the
+cache-hit counter.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
+import os
 import sys
 import time
+import traceback
+import warnings
 from typing import Optional, Sequence
 
-from repro.errors import ReproError
-from repro.experiments.common import get_scale
+from repro.errors import ConfigError, ReproError
+from repro.experiments.cellcache import (
+    CellCache,
+    ExecStats,
+    default_cache_dir,
+)
+from repro.experiments.exec import run_spec
+from repro.experiments.registry import EXPERIMENTS, get_spec, iter_specs
+from repro.metrics.charts import chart_result
 
-EXPERIMENTS = {
-    "fig01": "repro.experiments.fig01_bandwidth_vs_hitrate",
-    "fig02": "repro.experiments.fig02_edram_capacity",
-    "fig04": "repro.experiments.fig04_bandwidth_sensitivity",
-    "fig05": "repro.experiments.fig05_tag_cache",
-    "fig06": "repro.experiments.fig06_dap_speedup",
-    "fig07": "repro.experiments.fig07_dap_decisions",
-    "fig08": "repro.experiments.fig08_cas_fraction",
-    "table1": "repro.experiments.table1_sensitivity",
-    "fig09": "repro.experiments.fig09_memory_technology",
-    "fig10": "repro.experiments.fig10_capacity_bandwidth",
-    "fig11": "repro.experiments.fig11_related",
-    "fig12": "repro.experiments.fig12_all_workloads",
-    "fig13": "repro.experiments.fig13_16core",
-    "fig14": "repro.experiments.fig14_alloy",
-    "fig15": "repro.experiments.fig15_edram",
-    "ablation": "repro.experiments.ablation_techniques",
-    "flat": "repro.experiments.ext_flat_memory",
-}
-
-# Experiments that accept a `workloads` keyword.
-_WORKLOAD_AWARE = set(EXPERIMENTS) - {"fig01", "fig12", "flat"}
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
 
 def run_experiment(name: str, scale_name: Optional[str] = None,
-                   workloads: Optional[Sequence[str]] = None):
-    """Run one experiment by id, returning its ExperimentResult."""
-    if name not in EXPERIMENTS:
-        raise ReproError(
-            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+                   workloads: Optional[Sequence[str]] = None, *,
+                   jobs: int = 1,
+                   cache: Optional[object] = None,
+                   resume: bool = False):
+    """Run one experiment by id, returning its ExperimentResult.
+
+    ``jobs`` fans the experiment's cells out over worker processes;
+    ``cache`` (a CellCache or directory path) memoizes cells on disk;
+    ``resume`` retries cells whose previous attempt failed.
+    """
+    spec = get_spec(name)
+    if workloads and not spec.workload_aware:
+        warnings.warn(
+            f"experiment {name!r} does not take a workload restriction; "
+            f"--workloads ignored",
+            UserWarning, stacklevel=2,
         )
-    module = importlib.import_module(EXPERIMENTS[name])
-    scale = get_scale(scale_name)
-    kwargs = {}
-    if workloads and name in _WORKLOAD_AWARE:
-        kwargs["workloads"] = list(workloads)
-    return module.run(scale, **kwargs)
+    return run_spec(spec, scale=scale_name, workloads=workloads,
+                    jobs=jobs, cache=cache, resume=resume)
+
+
+def _print_spec_list() -> None:
+    """The --list table: id, workload-awareness, title (from the registry)."""
+    print(f"{'id':10s} {'workloads':10s} title")
+    print(f"{'-' * 10} {'-' * 10} {'-' * 40}")
+    for spec in iter_specs():
+        aware = "yes" if spec.workload_aware else "-"
+        print(f"{spec.name:10s} {aware:10s} {spec.title}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -64,30 +78,78 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-experiment",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("experiments", nargs="+",
+    parser.add_argument("experiments", nargs="*",
                         help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
     parser.add_argument("--scale", choices=("smoke", "small", "paper"),
                         default=None, help="run scale (default: $REPRO_SCALE or smoke)")
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="restrict to these workload names")
+    parser.add_argument("--jobs", type=int, metavar="N",
+                        default=os.cpu_count() or 1,
+                        help="worker processes for cell execution "
+                             "(default: all cores; 1 = serial)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="on-disk cell cache location "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk cell cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="retry cells whose previous attempt failed "
+                             "(completed cells still come from the cache)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered experiments and exit")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each table as DIR/<experiment>.csv")
     parser.add_argument("--chart", type=int, metavar="COL", default=None,
                         help="render column COL of each table as ASCII bars")
     args = parser.parse_args(argv)
 
+    if args.list:
+        _print_spec_list()
+        return 0
+    if not args.experiments:
+        parser.error("no experiments given (or use --list)")
+
+    cache = None if args.no_cache else CellCache(
+        args.cache_dir or default_cache_dir())
+
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+
+    # Warn once, by name, about experiments that will ignore --workloads
+    # (their specs declare themselves workload-unaware).
+    if args.workloads:
+        ignoring = [n for n in names
+                    if n in EXPERIMENTS and not get_spec(n).workload_aware]
+        if ignoring:
+            print(f"warning: --workloads ignored by {', '.join(ignoring)} "
+                  "(not workload-aware; see --list)", file=sys.stderr)
+
+    totals = ExecStats()
+    failed: list[str] = []
     for name in names:
         start = time.time()
+        spec_workloads = args.workloads
+        if name in EXPERIMENTS and not get_spec(name).workload_aware:
+            spec_workloads = None  # already warned above
         try:
-            result = run_experiment(name, args.scale, args.workloads)
+            result = run_experiment(
+                name, args.scale, spec_workloads,
+                jobs=max(1, args.jobs), cache=cache, resume=args.resume,
+            )
         except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            failed.append(name)
+            continue
+        except Exception:
+            # One broken experiment must not abort the rest of an `all`
+            # run; report it and continue.
+            print(f"error: {name} raised an unexpected exception:",
+                  file=sys.stderr)
+            traceback.print_exc()
+            failed.append(name)
+            continue
         result.print()
         if args.chart is not None:
-            from repro.errors import ConfigError
-            from repro.metrics.charts import chart_result
             try:
                 print()
                 print(chart_result(result, column=args.chart, baseline=1.0))
@@ -96,7 +158,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.csv:
             path = result.to_csv(args.csv, name)
             print(f"[csv written to {path}]")
-        print(f"[{name} took {time.time() - start:.1f}s]\n")
+        stats = result.stats
+        if stats is not None:
+            totals.merge(stats)
+            print(f"[{name} took {time.time() - start:.1f}s — "
+                  f"{stats.summary()}]\n")
+        else:
+            print(f"[{name} took {time.time() - start:.1f}s]\n")
+
+    if len(names) > 1 and totals.total:
+        print(f"[run summary: {totals.summary()}]")
+    if failed:
+        print(f"error: {len(failed)} experiment(s) failed: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

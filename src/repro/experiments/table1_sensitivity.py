@@ -11,14 +11,14 @@ what the cache can serve and under-partitions.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.experiments.common import (
-    ExperimentResult,
-    Scale,
-    get_scale,
-    run_mix,
-    scaled_config,
+from repro.experiments.common import ExperimentResult, Scale, scaled_config
+from repro.experiments.exec import (
+    CellResults,
+    ExperimentSpec,
+    MixCell,
+    run_spec,
 )
 from repro.metrics.speedup import geomean, normalized_weighted_speedup
 from repro.workloads.mixes import rate_mix
@@ -28,44 +28,60 @@ W_VALUES = (32, 64, 128)
 E_VALUES = (0.50, 0.75, 1.00)
 
 
-def run(scale: Optional[Scale] = None,
-        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
-    scale = scale or get_scale()
-    workloads = list(workloads or BANDWIDTH_SENSITIVE)
-    result = ExperimentResult(
-        experiment="Table I — sensitivity to W (at E=0.75) and E (at W=64)",
-        headers=["parameter", "value", "gmean_norm_ws"],
-    )
-    baselines = {}
-    for name in workloads:
-        baselines[name] = run_mix(
-            rate_mix(name), scaled_config(scale, policy="baseline"), scale
-        )
+def _combos() -> list[tuple[int, float]]:
+    combos = [(window, 0.75) for window in W_VALUES]
+    combos += [(64, efficiency) for efficiency in E_VALUES
+               if (64, efficiency) not in combos]
+    return combos
 
-    def gmean_for(window: int, efficiency: float) -> float:
-        speedups = []
-        for name in workloads:
-            dap = run_mix(
-                rate_mix(name),
+
+def cells(scale: Scale, workloads: Sequence[str]) -> Iterator[MixCell]:
+    for name in workloads:
+        mix = rate_mix(name)
+        yield MixCell(f"{name}/baseline", mix,
+                      scaled_config(scale, policy="baseline"), scale)
+        for window, efficiency in _combos():
+            yield MixCell(
+                f"{name}/dap-W{window}-E{efficiency:.2f}", mix,
                 scaled_config(scale, policy="dap", dap_window=window,
                               dap_efficiency=efficiency),
                 scale,
             )
-            speedups.append(
-                normalized_weighted_speedup(dap.ipc, baselines[name].ipc)
-            )
+
+
+def render(ctx: CellResults) -> ExperimentResult:
+    result = ctx.new_result()
+
+    def gmean_for(window: int, efficiency: float) -> float:
+        speedups = []
+        for name in ctx.workloads:
+            base = ctx[f"{name}/baseline"]
+            dap = ctx[f"{name}/dap-W{window}-E{efficiency:.2f}"]
+            speedups.append(normalized_weighted_speedup(dap.ipc, base.ipc))
         return geomean(speedups)
 
-    cache: dict[tuple[int, float], float] = {}
     for window in W_VALUES:
-        cache[(window, 0.75)] = gmean_for(window, 0.75)
-        result.add("W", window, cache[(window, 0.75)])
+        result.add("W", window, gmean_for(window, 0.75))
     for efficiency in E_VALUES:
-        key = (64, efficiency)
-        if key not in cache:
-            cache[key] = gmean_for(64, efficiency)
-        result.add("E", efficiency, cache[key])
+        result.add("E", efficiency, gmean_for(64, efficiency))
     return result
+
+
+SPEC = ExperimentSpec(
+    name="table1",
+    title="Table I — sensitivity to W (at E=0.75) and E (at W=64)",
+    headers=("parameter", "value", "gmean_norm_ws"),
+    cells=cells,
+    render=render,
+    workload_aware=True,
+    default_workloads=tuple(BANDWIDTH_SENSITIVE),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Compatibility shim (serial, uncached); prefer the registered SPEC."""
+    return run_spec(SPEC, scale=scale, workloads=workloads)
 
 
 def main() -> None:

@@ -1,0 +1,183 @@
+"""Tests for the cell-execution engine and its on-disk cache."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.cellcache import (
+    CellCache,
+    alone_ipc_key_parts,
+    cell_key,
+    decode_result,
+    encode_result,
+)
+from repro.experiments.common import SMOKE, scaled_config
+from repro.experiments.exec import (
+    AloneIpcCell,
+    MixCell,
+    TaskCell,
+    execute_cells,
+    run_spec,
+)
+from repro.experiments.registry import get_spec
+from repro.metrics.stats import RunResult
+from repro.workloads.mixes import rate_mix
+
+
+def _mix_cell(label="mcf/baseline", **config_kwargs):
+    config = scaled_config(SMOKE, policy="baseline", **config_kwargs)
+    return MixCell(label, rate_mix("mcf"), config, SMOKE)
+
+
+# ---------------------------------------------------------------- keys
+
+
+def test_cell_key_is_deterministic():
+    assert cell_key(_mix_cell().key_parts()) == \
+        cell_key(_mix_cell().key_parts())
+
+
+def test_cell_key_ignores_label():
+    # The label is presentation; only simulation inputs are keyed.
+    assert cell_key(_mix_cell("a").key_parts()) == \
+        cell_key(_mix_cell("b").key_parts())
+
+
+def test_cell_key_changes_with_config():
+    base = cell_key(_mix_cell().key_parts())
+    tweaked = cell_key(_mix_cell(dap_window=128).key_parts())
+    assert base != tweaked
+
+
+def test_alone_ipc_key_normalizes_policy_and_cores():
+    # Every policy/core-count variant of a platform shares one
+    # alone-IPC reference cell.
+    a = alone_ipc_key_parts("mcf", scaled_config(SMOKE, policy="dap"), SMOKE)
+    b = alone_ipc_key_parts(
+        "mcf", scaled_config(SMOKE, policy="baseline", num_cores=4), SMOKE)
+    assert cell_key(a) == cell_key(b)
+    c = alone_ipc_key_parts("omnetpp", scaled_config(SMOKE), SMOKE)
+    assert cell_key(a) != cell_key(c)
+
+
+# -------------------------------------------------------- cache store
+
+
+def test_cache_round_trips_run_result(tmp_path):
+    result = RunResult(
+        policy="dap", cycles=1000, instructions=[1234], ipc=[1.234],
+        l3_mpki=[12.5], avg_read_latency=480.0, served_hit_rate=0.7,
+        array_hit_rate=0.8, mm_cas=25, cache_cas=75, mm_cas_fraction=0.25,
+        delivered_gbps=51.2, tag_cache_miss_rate=0.22,
+        dap_decisions={"fwb": 2}, extras={"x": 1.0},
+    )
+    cache = CellCache(tmp_path)
+    cache.put_result("k" * 64, result, label="x")
+    restored = cache.get_result("k" * 64)
+    assert restored == result
+    assert isinstance(restored, RunResult)
+
+
+def test_encode_decode_plain_json_values():
+    for value in ({"gbps": 1.25}, [1, 2.5], "text", 3):
+        assert decode_result(encode_result(value)) == value
+
+
+def test_cache_tolerates_torn_entries(tmp_path):
+    cache = CellCache(tmp_path)
+    key = "a" * 64
+    cache.put_result(key, {"v": 1})
+    path = tmp_path / key[:2] / f"{key}.json"
+    path.write_text('{"status": "ok", "resu')  # truncated write
+    assert cache.get(key) is None
+
+
+# ---------------------------------------------------- engine behavior
+
+
+def test_execute_cells_rejects_duplicate_labels():
+    cells = [_mix_cell("same"), _mix_cell("same")]
+    with pytest.raises(ReproError, match="duplicate cell labels"):
+        execute_cells(cells)
+
+
+MARKER_ENV = "REPRO_TEST_FAIL_MARKER"
+
+
+def flaky_task(value: float = 1.0):
+    """Module-level worker body: fails while the marker file exists."""
+    marker = os.environ.get(MARKER_ENV, "")
+    if marker and os.path.exists(marker):
+        raise RuntimeError("injected failure")
+    return {"value": value}
+
+
+def steady_task(value: float = 2.0):
+    return {"value": value}
+
+
+def test_resume_retries_only_recorded_failures(tmp_path, monkeypatch):
+    marker = tmp_path / "fail.marker"
+    marker.write_text("")
+    monkeypatch.setenv(MARKER_ENV, str(marker))
+    cache = CellCache(tmp_path / "cache")
+    cells = [
+        TaskCell("flaky", flaky_task, kwargs=(("value", 1.0),)),
+        TaskCell("steady", steady_task, kwargs=(("value", 2.0),)),
+    ]
+
+    results, stats = execute_cells(cells, cache=cache)
+    assert stats.executed == 1 and stats.failed == 1
+    assert "steady" in results and "flaky" not in results
+    assert "injected failure" in stats.failures[0].error
+
+    # Without --resume the recorded failure replays without re-running.
+    results, stats = execute_cells(cells, cache=cache)
+    assert stats.executed == 0
+    assert stats.cache_hits == 1 and stats.replayed_failures == 1
+
+    # With --resume, only the failed cell re-runs; the rest stay cached.
+    marker.unlink()
+    results, stats = execute_cells(cells, cache=cache, resume=True)
+    assert stats.executed == 1 and stats.cache_hits == 1
+    assert stats.failed == 0
+    assert results["flaky"] == {"value": 1.0}
+
+
+def test_identical_cells_execute_once(tmp_path):
+    cells = [
+        TaskCell("first", steady_task, kwargs=(("value", 5.0),)),
+        TaskCell("alias", steady_task, kwargs=(("value", 5.0),)),
+    ]
+    results, stats = execute_cells(cells, cache=CellCache(tmp_path))
+    assert stats.executed == 1 and stats.total == 2
+    assert results["first"] == results["alias"] == {"value": 5.0}
+
+
+def test_alone_ipc_cell_shared_across_policies(tmp_path):
+    cache = CellCache(tmp_path)
+    dap = AloneIpcCell("a", "mcf", scaled_config(SMOKE, policy="dap"), SMOKE)
+    base = AloneIpcCell("b", "mcf", scaled_config(SMOKE), SMOKE)
+    assert cell_key(dap.key_parts()) == cell_key(base.key_parts())
+
+
+# --------------------------------------------- parallel/serial parity
+
+
+def test_fig06_parallel_matches_serial(tmp_path):
+    spec = get_spec("fig06")
+    serial = run_spec(spec, scale="smoke", workloads=["mcf"], jobs=1)
+    parallel = run_spec(spec, scale="smoke", workloads=["mcf"], jobs=2,
+                        cache=CellCache(tmp_path))
+    assert parallel.rows == serial.rows
+    assert parallel.stats.executed == 2
+
+    # A warm-cache rerun renders the same table with zero simulations.
+    warm = run_spec(spec, scale="smoke", workloads=["mcf"], jobs=2,
+                    cache=CellCache(tmp_path))
+    assert warm.rows == serial.rows
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == warm.stats.total == 2
+    assert "0 executed" in warm.stats.summary()

@@ -2,12 +2,13 @@
 
 import pytest
 
+from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import main, run_experiment
 
 
 def test_cli_runs_fig01_with_chart_and_csv(tmp_path, capsys):
-    exit_code = main(["fig01", "--scale", "smoke", "--chart", "1",
-                      "--csv", str(tmp_path)])
+    exit_code = main(["fig01", "--scale", "smoke", "--no-cache",
+                      "--chart", "1", "--csv", str(tmp_path)])
     out = capsys.readouterr().out
     assert exit_code == 0
     assert "Fig. 1" in out
@@ -22,6 +23,44 @@ def test_cli_rejects_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_cli_continues_past_failed_experiment(capsys):
+    # One broken experiment must not abort the batch: fig01 still runs,
+    # and the final exit code reports the failure.
+    exit_code = main(["fig99", "fig01", "--scale", "smoke", "--no-cache"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "Fig. 1" in captured.out
+    assert "unknown experiment" in captured.err
+    assert "1 experiment(s) failed: fig99" in captured.err
+
+
+def test_cli_list_prints_registry(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "Fig. 6" in out
+    assert "workloads" in out              # awareness column
+
+
+def test_cli_warns_when_workloads_ignored(capsys):
+    exit_code = main(["fig01", "--scale", "smoke", "--no-cache",
+                      "--workloads", "mcf"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "--workloads ignored by fig01" in captured.err
+
+
+def test_cli_reports_cache_hits_in_summary(tmp_path, capsys):
+    args = ["fig01", "--scale", "smoke", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "0 cached" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed" in warm            # warm cache: no simulations
+
+
 def test_run_experiment_passes_workload_subset():
     result = run_experiment("fig07", scale_name="smoke", workloads=["mcf"])
     names = [row[0] for row in result.rows]
@@ -29,9 +68,10 @@ def test_run_experiment_passes_workload_subset():
     assert "omnetpp" not in names
 
 
-def test_run_experiment_ignores_workloads_for_fig01():
-    result = run_experiment("fig01", scale_name="smoke",
-                            workloads=["mcf"])  # silently ignored
+def test_run_experiment_warns_on_ignored_workloads():
+    with pytest.warns(UserWarning, match="does not take a workload"):
+        result = run_experiment("fig01", scale_name="smoke",
+                                workloads=["mcf"])
     assert result.rows
 
 
