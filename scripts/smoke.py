@@ -4,6 +4,11 @@ Drives baseline/dap cell pairs through the cell-execution engine, so it
 exercises the same parallel + cached path as `repro-experiment`:
 
     PYTHONPATH=src python scripts/smoke.py mcf omnetpp --jobs 4
+
+With ``--trace`` every cell also streams a JSONL telemetry trace (credit
+counters, channel utilization, DAP decisions) and a run manifest:
+
+    PYTHONPATH=src python scripts/smoke.py mcf --trace --probe-interval 10000
 """
 
 import argparse
@@ -12,7 +17,10 @@ import time
 from repro.experiments.cellcache import CellCache, default_cache_dir
 from repro.experiments.common import get_scale, scaled_config
 from repro.experiments.exec import MixCell, execute_cells
+from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
 from repro.workloads.mixes import rate_mix
+
+DEFAULT_TRACE_DIR = ".repro-traces/smoke"
 
 POLICIES = ("baseline", "dap")
 DEFAULT_WORKLOADS = ["mcf", "libquantum", "omnetpp", "gcc.expr",
@@ -36,15 +44,25 @@ def main(argv=None):
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
     parser.add_argument("--cache-dir", default=None, metavar="DIR")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--trace", action="store_true",
+                        help="stream JSONL telemetry traces + manifests")
+    parser.add_argument("--probe-interval", type=int, metavar="CYCLES",
+                        default=DEFAULT_PROBE_INTERVAL)
+    parser.add_argument("--trace-dir", default=DEFAULT_TRACE_DIR,
+                        metavar="DIR")
     args = parser.parse_args(argv)
 
     scale = get_scale()
     cache = None if args.no_cache else CellCache(
         args.cache_dir or default_cache_dir())
+    telemetry = (TelemetryConfig(probe_interval=args.probe_interval,
+                                 trace_dir=args.trace_dir)
+                 if args.trace else None)
 
     cells = [
         MixCell(f"{name}/{policy}", rate_mix(name),
-                scaled_config(scale, policy=policy), scale)
+                scaled_config(scale, policy=policy), scale,
+                telemetry=telemetry)
         for name in args.workloads
         for policy in POLICIES
     ]
@@ -67,6 +85,10 @@ def main(argv=None):
     for failure in stats.failures:
         print(f"error: {failure.label}: {failure.error}")
     print(f"[{wall:.1f}s — {stats.summary()}]")
+    if stats.profile:
+        print(stats.profile_summary())
+    if args.trace and stats.executed:
+        print(f"[traces written under {args.trace_dir}]")
     return 1 if stats.failed else 0
 
 

@@ -125,6 +125,10 @@ class DapAlloy:
         """An IFRM line turned out absent — its fill was skipped too."""
         self.decisions["fill_bypass"] += 1
 
+    def credit_state(self) -> dict[str, float]:
+        """Current credit-counter values in whole accesses."""
+        return {"ifrm": self._ifrm.value, "wt": self._wt.value}
+
     # ------------------------------------------------------------------
     def note_ms_access(self, count: int = 1) -> None:
         self.stats.note_ms_access(count)

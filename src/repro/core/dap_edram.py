@@ -144,6 +144,14 @@ class DapEdram:
             return True
         return False
 
+    def credit_state(self) -> dict[str, float]:
+        """Current credit-counter values in whole accesses."""
+        return {
+            "fwb": self._fwb.value,
+            "wb": self._wb.value,
+            "ifrm": self._ifrm.value,
+        }
+
     # ------------------------------------------------------------------
     def note_ms_read(self, count: int = 1) -> None:
         self.stats.note_ms_read(count)

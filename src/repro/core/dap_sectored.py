@@ -218,6 +218,18 @@ class DapSectored:
         self.stats.note_clean_hit()
 
     # ------------------------------------------------------------------
+    # Introspection (telemetry probes)
+    # ------------------------------------------------------------------
+    def credit_state(self) -> dict[str, float]:
+        """Current credit-counter values in whole accesses."""
+        return {
+            "fwb": self._fwb.value,
+            "wb": self._wb.value,
+            "ifrm": self._ifrm.value,
+            "sfrm": self._sfrm.value,
+        }
+
+    # ------------------------------------------------------------------
     def total_decisions(self) -> int:
         return sum(self.decisions.values())
 

@@ -125,6 +125,18 @@ def decode_result(data: Any) -> Any:
     return data
 
 
+def _embedded_manifest(encoded: Any) -> Optional[dict]:
+    """The run manifest carried inside an encoded result, if any."""
+    if not isinstance(encoded, dict):
+        return None
+    extras = encoded.get("data", {}).get("extras")
+    if isinstance(extras, dict):
+        manifest = extras.get("manifest")
+        if isinstance(manifest, dict):
+            return manifest
+    return None
+
+
 # ----------------------------------------------------------------------
 # Execution bookkeeping (shared by the engine and the runner summary)
 # ----------------------------------------------------------------------
@@ -138,6 +150,20 @@ class CellFailure:
 
 
 @dataclass
+class CellProfile:
+    """Wall-time / throughput of one cell actually executed this run."""
+
+    label: str
+    wall: float               # seconds spent inside the cell
+    events: int = 0           # simulator events dispatched (from manifest)
+    cycles: int = 0           # simulated cycles (from manifest)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall if self.wall > 0 else 0.0
+
+
+@dataclass
 class ExecStats:
     """What one sweep did: the runner's cache-hit / execution counters."""
 
@@ -146,6 +172,7 @@ class ExecStats:
     cache_hits: int = 0       # cells served from the on-disk cache
     replayed_failures: int = 0  # cached failures reported without retrying
     failures: list[CellFailure] = field(default_factory=list)
+    profile: list[CellProfile] = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
@@ -158,11 +185,37 @@ class ExecStats:
         self.cache_hits += other.cache_hits
         self.replayed_failures += other.replayed_failures
         self.failures.extend(other.failures)
+        self.profile.extend(other.profile)
         self.elapsed += other.elapsed
 
     def summary(self) -> str:
         return (f"{self.total} cells: {self.executed} executed, "
                 f"{self.cache_hits} cached, {self.failed} failed")
+
+    def profile_summary(self, top: int = 3) -> str:
+        """Per-cell profile digest: slowest cells, aggregate throughput.
+
+        Event/cycle counts come from run manifests; cells without one
+        (kernel measurements, task cells) report wall time only.
+        """
+        if not self.profile:
+            return "[profile: no cells executed]"
+        wall = sum(p.wall for p in self.profile)
+        events = sum(p.events for p in self.profile)
+        head = f"[profile: {len(self.profile)} cells in {wall:.1f}s of simulation"
+        if events:
+            head += (f" ({events} events, "
+                     f"{events / wall if wall > 0 else 0.0:,.0f} "
+                     f"events/s aggregate)")
+        lines = [head + "]"]
+        slowest = sorted(self.profile, key=lambda p: p.wall, reverse=True)
+        for prof in slowest[:top]:
+            line = f"  slowest: {prof.label}  {prof.wall:.2f}s"
+            if prof.events:
+                line += (f"  {prof.events_per_sec:,.0f} events/s  "
+                         f"{prof.cycles} cycles")
+            lines.append(line)
+        return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -193,8 +246,22 @@ class CellCache:
             return None
         return decode_result(entry["result"])
 
+    def manifest_path(self, key: str) -> Path:
+        """Sidecar manifest location for a cached cell."""
+        return self.root / key[:2] / f"{key}.manifest.json"
+
+    def get_manifest(self, key: str) -> Optional[dict]:
+        """The run manifest stored alongside a cached cell, if any."""
+        try:
+            with open(self.manifest_path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
     def _write(self, key: str, payload: dict) -> None:
-        path = self._path(key)
+        self._write_path(self._path(key), payload)
+
+    def _write_path(self, path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -209,10 +276,14 @@ class CellCache:
             raise
 
     def put_result(self, key: str, result: Any, label: str = "") -> None:
+        encoded = encode_result(result)
         self._write(key, {
             "status": "ok", "version": CODE_VERSION, "label": label,
-            "result": encode_result(result),
+            "result": encoded,
         })
+        manifest = _embedded_manifest(encoded)
+        if manifest is not None:
+            self._write_path(self.manifest_path(key), manifest)
 
     def put_failure(self, key: str, error: str, traceback_text: str = "",
                     label: str = "") -> None:

@@ -10,10 +10,15 @@ preserved at a laptop-friendly cost. ``Scale`` holds that knob.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.obs.manifest import build_manifest
+from repro.obs.probes import attach_system_probes
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.obs.trace import TraceWriter, trace_paths, write_manifest
 from repro.experiments.cellcache import (
     ExecStats,
     alone_ipc_key_parts,
@@ -124,8 +129,19 @@ def warm_system(system, mix: Mix, scale: Scale) -> int:
 
 
 def run_mix(mix: Mix, config: SystemConfig, scale: Scale,
-            warm: bool = True) -> RunResult:
-    """Build, warm, and run one mix on one configuration."""
+            warm: bool = True,
+            telemetry: Optional[TelemetryConfig] = None,
+            label: Optional[str] = None) -> RunResult:
+    """Build, warm, and run one mix on one configuration.
+
+    Every run attaches a provenance manifest (config, policy, git SHA,
+    wall time, events/sec) to ``result.extras["manifest"]``.  With a
+    :class:`~repro.obs.telemetry.TelemetryConfig` the system is
+    additionally instrumented: credit-counter / channel probes sample on
+    ``probe_interval`` and, when ``trace_dir`` is set, stream to a JSONL
+    trace next to a ``.manifest.json`` copy. Telemetry only observes —
+    the simulated outcome is identical with or without it.
+    """
     if config.num_cores != mix.num_cores:
         config = replace(config, num_cores=mix.num_cores)
     traces = mix.traces(refs_per_core=scale.refs_per_core,
@@ -133,8 +149,32 @@ def run_mix(mix: Mix, config: SystemConfig, scale: Scale,
     system = build_system(config, traces)
     if warm:
         warm_system(system, mix, scale)
+
+    label = label or f"{mix.name}/{config.policy}"
+    tel = sink = manifest_path = None
+    if telemetry is not None:
+        if telemetry.trace_dir:
+            trace_path, manifest_path = trace_paths(telemetry.trace_dir, label)
+            sink = TraceWriter(trace_path)
+        tel = Telemetry.from_config(system.sim, telemetry, sink=sink)
+        attach_system_probes(tel, system)
+        if sink is not None:
+            sink.write_meta(label, tel.probe_names(), tel.interval)
+        system.telemetry = tel
+
+    start = time.perf_counter()
     system.run()
-    return collect_result(system)
+    wall = time.perf_counter() - start
+
+    result = collect_result(system)
+    manifest = build_manifest(system, wall, label=label, scale=scale.name,
+                              telemetry=tel)
+    result.extras["manifest"] = manifest
+    if tel is not None:
+        tel.close()
+        if manifest_path is not None:
+            write_manifest(manifest_path, manifest)
+    return result
 
 
 def alone_ipc(profile_name: str, config: SystemConfig, scale: Scale) -> float:

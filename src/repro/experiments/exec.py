@@ -35,10 +35,12 @@ from repro.experiments import cellcache
 from repro.experiments.cellcache import (
     CellCache,
     CellFailure,
+    CellProfile,
     ExecStats,
     alone_ipc_key_parts,
     cell_key,
 )
+from repro.obs.telemetry import TelemetryConfig
 from repro.experiments.common import (
     ExperimentResult,
     Scale,
@@ -72,6 +74,10 @@ class MixCell:
     scale: Scale
     seed: int = 0
     warm: bool = True
+    #: Optional instrumentation (probes + JSONL trace). Deliberately NOT
+    #: part of the cache key: telemetry observes a run without changing
+    #: its result, so traced and untraced invocations share cells.
+    telemetry: Optional[TelemetryConfig] = None
 
     def key_parts(self) -> tuple:
         # run_mix sizes the platform to the mix, so configs differing
@@ -81,7 +87,8 @@ class MixCell:
                 self.seed, self.warm)
 
     def execute(self):
-        return run_mix(self.mix, self.config, self.scale, warm=self.warm)
+        return run_mix(self.mix, self.config, self.scale, warm=self.warm,
+                       telemetry=self.telemetry, label=self.label)
 
 
 @dataclass(frozen=True)
@@ -190,20 +197,23 @@ class CellResults:
 def _execute_one(cell: Cell, key: str, cache: Optional[CellCache]):
     """Run one cell, writing the result (or failure) through the cache.
 
-    Returns ``(label, "ok", result)`` or ``(label, "error", message)``;
-    never raises, so pool futures only fail on worker death.
+    Returns ``(label, "ok", result, wall_seconds)`` or
+    ``(label, "error", message, wall_seconds)``; never raises, so pool
+    futures only fail on worker death. ``wall_seconds`` is 0.0 when the
+    cell was served by a racing worker's cache entry.
     """
+    start = time.perf_counter()
     try:
         if cache is not None:
             # Another worker may have finished this cell (or its alone-IPC
             # twin) since the parent scheduled it.
             hit = cache.get_result(key)
             if hit is not None:
-                return cell.label, "ok", hit
+                return cell.label, "ok", hit, 0.0
         result = cell.execute()
         if cache is not None:
             cache.put_result(key, result, label=cell.label)
-        return cell.label, "ok", result
+        return cell.label, "ok", result, time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 — cell isolation is the point
         message = f"{type(exc).__name__}: {exc}"
         if cache is not None:
@@ -212,7 +222,20 @@ def _execute_one(cell: Cell, key: str, cache: Optional[CellCache]):
                                   label=cell.label)
             except OSError:
                 pass
-        return cell.label, "error", message
+        return cell.label, "error", message, time.perf_counter() - start
+
+
+def _profile_of(label: str, payload, wall: float) -> CellProfile:
+    """Per-cell profile entry; events/cycles come from the run manifest."""
+    manifest = getattr(payload, "manifest", None)
+    if not isinstance(manifest, dict):
+        manifest = None
+    return CellProfile(
+        label=label,
+        wall=wall,
+        events=int(manifest.get("events", 0)) if manifest else 0,
+        cycles=int(manifest.get("cycles", 0)) if manifest else 0,
+    )
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
@@ -295,26 +318,33 @@ def execute_cells(
                 for future in as_completed(futures):
                     cell = futures[future]
                     try:
-                        label, status, payload = future.result()
+                        label, status, payload, wall = future.result()
                     except BrokenProcessPool:
-                        label, status, payload = (
+                        label, status, payload, wall = (
                             cell.label, "error",
                             "worker process crashed (killed or out of memory)",
+                            0.0,
                         )
                     except Exception as exc:  # pool plumbing failure
-                        label, status, payload = (
-                            cell.label, "error", f"{type(exc).__name__}: {exc}"
+                        label, status, payload, wall = (
+                            cell.label, "error",
+                            f"{type(exc).__name__}: {exc}", 0.0,
                         )
                     outcomes[keys[label]] = (status, payload)
                     if status == "ok":
                         stats.executed += 1
+                        if wall > 0:
+                            stats.profile.append(
+                                _profile_of(label, payload, wall))
         else:
             for cell in unique:
-                label, status, payload = _execute_one(
+                label, status, payload, wall = _execute_one(
                     cell, keys[cell.label], cache)
                 outcomes[keys[label]] = (status, payload)
                 if status == "ok":
                     stats.executed += 1
+                    if wall > 0:
+                        stats.profile.append(_profile_of(label, payload, wall))
 
     # Fan unique outcomes back out to every label sharing the key.
     for cell in pending:
@@ -339,6 +369,7 @@ def run_spec(
     cache: Union[CellCache, str, None] = None,
     resume: bool = False,
     options: Optional[dict] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ExperimentResult:
     """Execute a spec's cells and render its table.
 
@@ -347,13 +378,19 @@ def run_spec(
     counter).  Raises :class:`CellExecutionError` if any cell failed —
     every other cell is already in the cache, so a re-run (with
     ``resume=True`` to retry recorded failures) resumes the sweep
-    instead of restarting it.
+    instead of restarting it.  ``telemetry`` instruments every
+    simulation cell of the sweep (probe series + JSONL traces); cached
+    cells are still served from the cache, since telemetry never
+    changes results.
     """
     if not isinstance(scale, Scale):
         scale = get_scale(scale)
     workloads = spec.resolve_workloads(workloads)
     options = dict(options or {})
     cells = list(spec.cells(scale, workloads, **options))
+    if telemetry is not None:
+        cells = [replace(cell, telemetry=telemetry)
+                 if isinstance(cell, MixCell) else cell for cell in cells]
     results, stats = execute_cells(cells, jobs=jobs, cache=cache,
                                    resume=resume)
     if stats.failures:

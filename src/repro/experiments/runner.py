@@ -29,6 +29,8 @@ import traceback
 import warnings
 from typing import Optional, Sequence
 
+from dataclasses import replace
+
 from repro.errors import ConfigError, ReproError
 from repro.experiments.cellcache import (
     CellCache,
@@ -38,6 +40,9 @@ from repro.experiments.cellcache import (
 from repro.experiments.exec import run_spec
 from repro.experiments.registry import EXPERIMENTS, get_spec, iter_specs
 from repro.metrics.charts import chart_result
+from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
+
+DEFAULT_TRACE_DIR = ".repro-traces"
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -46,12 +51,15 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
                    workloads: Optional[Sequence[str]] = None, *,
                    jobs: int = 1,
                    cache: Optional[object] = None,
-                   resume: bool = False):
+                   resume: bool = False,
+                   telemetry: Optional[TelemetryConfig] = None):
     """Run one experiment by id, returning its ExperimentResult.
 
     ``jobs`` fans the experiment's cells out over worker processes;
     ``cache`` (a CellCache or directory path) memoizes cells on disk;
-    ``resume`` retries cells whose previous attempt failed.
+    ``resume`` retries cells whose previous attempt failed;
+    ``telemetry`` instruments every simulation cell (probe series plus,
+    when its ``trace_dir`` is set, JSONL traces and manifests).
     """
     spec = get_spec(name)
     if workloads and not spec.workload_aware:
@@ -61,7 +69,8 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
             UserWarning, stacklevel=2,
         )
     return run_spec(spec, scale=scale_name, workloads=workloads,
-                    jobs=jobs, cache=cache, resume=resume)
+                    jobs=jobs, cache=cache, resume=resume,
+                    telemetry=telemetry)
 
 
 def _print_spec_list() -> None:
@@ -102,6 +111,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="also write each table as DIR/<experiment>.csv")
     parser.add_argument("--chart", type=int, metavar="COL", default=None,
                         help="render column COL of each table as ASCII bars")
+    parser.add_argument("--trace", action="store_true",
+                        help="instrument every simulated cell: sample "
+                             "credit/channel probes and stream JSONL traces "
+                             "+ run manifests under --trace-dir")
+    parser.add_argument("--probe-interval", type=int, metavar="CYCLES",
+                        default=DEFAULT_PROBE_INTERVAL,
+                        help="simulated cycles between probe samples "
+                             f"(default: {DEFAULT_PROBE_INTERVAL})")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        default=DEFAULT_TRACE_DIR,
+                        help="where --trace writes "
+                             "<experiment>/<cell>.trace.jsonl "
+                             f"(default: {DEFAULT_TRACE_DIR})")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -112,6 +134,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     cache = None if args.no_cache else CellCache(
         args.cache_dir or default_cache_dir())
+    telemetry = (TelemetryConfig(probe_interval=args.probe_interval,
+                                 trace_dir=args.trace_dir)
+                 if args.trace else None)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
 
@@ -131,10 +156,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         spec_workloads = args.workloads
         if name in EXPERIMENTS and not get_spec(name).workload_aware:
             spec_workloads = None  # already warned above
+        spec_telemetry = telemetry
+        if telemetry is not None and telemetry.trace_dir:
+            # One subdirectory per experiment keeps cell traces apart.
+            spec_telemetry = replace(
+                telemetry,
+                trace_dir=os.path.join(telemetry.trace_dir, name))
         try:
             result = run_experiment(
                 name, args.scale, spec_workloads,
                 jobs=max(1, args.jobs), cache=cache, resume=args.resume,
+                telemetry=spec_telemetry,
             )
         except ReproError as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)
@@ -162,12 +194,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if stats is not None:
             totals.merge(stats)
             print(f"[{name} took {time.time() - start:.1f}s — "
-                  f"{stats.summary()}]\n")
+                  f"{stats.summary()}]")
+            if stats.profile:
+                print(stats.profile_summary())
+            if args.trace and spec_telemetry is not None and stats.executed:
+                print(f"[traces written under {spec_telemetry.trace_dir}]")
+            print()
         else:
             print(f"[{name} took {time.time() - start:.1f}s]\n")
 
     if len(names) > 1 and totals.total:
         print(f"[run summary: {totals.summary()}]")
+        if totals.profile:
+            print(totals.profile_summary())
     if failed:
         print(f"error: {len(failed)} experiment(s) failed: "
               f"{', '.join(failed)}", file=sys.stderr)

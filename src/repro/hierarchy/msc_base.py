@@ -45,6 +45,11 @@ class MscStats:
     def avg_read_latency(self) -> float:
         return self.read_latency_sum / self.reads_done if self.reads_done else 0.0
 
+    @property
+    def outstanding_reads(self) -> int:
+        """Demand reads accepted but not yet completed."""
+        return self.reads - self.reads_done
+
 
 class MscController:
     """Shared behaviour of all memory-side cache controllers."""

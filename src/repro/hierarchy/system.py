@@ -183,6 +183,9 @@ class System:
         self.msc = msc
         self.hierarchy = hierarchy
         self.cores = cores
+        #: Optional telemetry hub (see :mod:`repro.obs`); installed by
+        #: the run helpers, started on :meth:`run`.
+        self.telemetry = None
         self._done = 0
 
     def _core_done(self, core: TraceCore) -> None:
@@ -192,6 +195,8 @@ class System:
         """Run every core's trace to completion (plus queue drain)."""
         for core in self.cores:
             core.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
         if max_cycles is not None:
             self.sim.run(until=max_cycles)
         else:

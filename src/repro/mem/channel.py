@@ -168,6 +168,17 @@ class DramChannel:
         """Fraction of elapsed cycles the data bus carried data."""
         return self.stats.busy_cycles / self.sim.now if self.sim.now else 0.0
 
+    def telemetry_sample(self) -> dict:
+        """Point-in-time snapshot for per-channel telemetry drill-down."""
+        return {
+            "read_q": len(self._read_q),
+            "write_q": len(self._write_q),
+            "busy_frac": self.utilization(),
+            "row_hit_rate": self.stats.row_hit_rate(),
+            "mode_switches": self.stats.mode_switches,
+            "total_cas": self.stats.total_cas,
+        }
+
     # ------------------------------------------------------------------
     # Address mapping
     # ------------------------------------------------------------------

@@ -105,3 +105,16 @@ class MemoryDevice:
 
     def iter_channels(self) -> Iterable[DramChannel]:
         return iter(self.channels)
+
+    def telemetry_sample(self) -> dict:
+        """Device snapshot with per-channel drill-down (telemetry)."""
+        return {
+            "read_q": self.read_queue_len(),
+            "write_q": self.write_queue_len(),
+            "busy_frac": self.utilization(),
+            "row_hit_rate": self.row_hit_rate(),
+            "delivered_gbps": self.delivered_gbps(),
+            "channels": {
+                ch.name: ch.telemetry_sample() for ch in self.channels
+            },
+        }

@@ -31,7 +31,15 @@ class RunResult:
     delivered_gbps: float
     tag_cache_miss_rate: Optional[float] = None
     dap_decisions: dict[str, int] = field(default_factory=dict)
-    extras: dict[str, float] = field(default_factory=dict)
+    #: Scalar side metrics plus, under the ``"manifest"`` key, the run's
+    #: provenance manifest (config, policy, git SHA, wall time, events).
+    extras: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def manifest(self) -> Optional[dict]:
+        """The run manifest, when one was attached."""
+        value = self.extras.get("manifest")
+        return value if isinstance(value, dict) else None
 
     @property
     def total_instructions(self) -> int:
@@ -97,6 +105,7 @@ def collect_result(system: System) -> RunResult:
     extras = {
         "mm_row_hit_rate": msc.mm_dev.row_hit_rate(),
         "cache_row_hit_rate": msc.cache_dev.row_hit_rate(),
+        "sfrm_issued": float(msc.stats.sfrm_issued),
         "sfrm_wasted": float(msc.stats.sfrm_wasted),
         "fwb_applied": float(msc.stats.fwb_applied),
         "wb_applied": float(msc.stats.wb_applied),

@@ -1,0 +1,33 @@
+"""In-run observability: probes, traces, and run manifests.
+
+The :mod:`repro.obs` package turns the simulator's end-of-run aggregates
+into time series. A :class:`Telemetry` hub samples registered probes on
+a simulated-cycle interval (through the event queue, so sampling is
+deterministic and never perturbs component state), keeps the series in
+bounded ring buffers, and optionally streams every sample — plus
+per-decision DAP events — to a JSONL trace file. Every simulation run
+additionally emits a :func:`run manifest <repro.obs.manifest.build_manifest>`
+describing exactly what was simulated and how fast.
+
+Telemetry is strictly opt-in: when no :class:`TelemetryConfig` is
+supplied, no probes are registered and the only per-decision cost in the
+hot path is a single ``is None`` check on the policy's observer slot.
+"""
+
+from repro.obs.manifest import build_manifest, git_sha
+from repro.obs.probes import attach_system_probes
+from repro.obs.telemetry import Series, Telemetry, TelemetryConfig
+from repro.obs.trace import TraceWriter, read_trace, trace_paths, write_manifest
+
+__all__ = [
+    "Series",
+    "Telemetry",
+    "TelemetryConfig",
+    "TraceWriter",
+    "attach_system_probes",
+    "build_manifest",
+    "git_sha",
+    "read_trace",
+    "trace_paths",
+    "write_manifest",
+]

@@ -1,0 +1,101 @@
+"""Streaming JSONL trace sink and manifest files.
+
+One trace file holds one run. Records are single-line JSON objects
+discriminated by ``"t"``:
+
+``{"t": "meta", ...}``
+    First line: probe names, interval, and the run label.
+``{"t": "sample", "cycle": C, "values": {probe: value, ...}}``
+    One probe sweep, taken every ``probe_interval`` cycles.
+``{"t": "decision", "cycle": C, "line": L, "technique": "fwb",
+   "granted": true, "credits": {...}}``
+    One steering decision (subject to the event sampling stride).
+
+The run manifest is written next to the trace as ``<stem>.manifest.json``
+(plain JSON, not JSONL, so dashboards can grab it without parsing the
+trace).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def safe_stem(label: str) -> str:
+    """A filesystem-safe stem for a cell label like ``mcf/dap``."""
+    return _SAFE.sub("_", label).strip("_") or "run"
+
+
+def trace_paths(trace_dir: Union[str, Path], label: str) -> tuple[Path, Path]:
+    """``(trace.jsonl, manifest.json)`` paths for one labelled run."""
+    stem = safe_stem(label)
+    root = Path(trace_dir)
+    return root / f"{stem}.trace.jsonl", root / f"{stem}.manifest.json"
+
+
+class TraceWriter:
+    """Append-only JSONL writer; one instance per run."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        json.dump(record, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.records_written += 1
+
+    def write_meta(self, label: str, probes: list[str], interval: int) -> None:
+        self.write({"t": "meta", "label": label, "probes": probes,
+                    "probe_interval": interval})
+
+    def write_sample(self, cycle: int, values: dict) -> None:
+        self.write({"t": "sample", "cycle": cycle, "values": values})
+
+    def write_decision(self, record: dict) -> None:
+        self.write({"t": "decision", **record})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: Union[str, Path],
+               kind: Optional[str] = None) -> list[dict]:
+    """Load a JSONL trace, optionally filtered to one record kind."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if kind is None or record.get("t") == kind:
+                records.append(record)
+    return records
+
+
+def write_manifest(path: Union[str, Path], manifest: dict) -> str:
+    """Write a run manifest as pretty JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return str(path)

@@ -29,6 +29,10 @@ class SteeringPolicy:
 
     def __init__(self) -> None:
         self.controller: Optional["MscController"] = None
+        #: Decision observer (a :class:`repro.obs.telemetry.Telemetry`)
+        #: installed by the telemetry layer; None in uninstrumented runs,
+        #: so the hot path pays one ``is None`` check at most.
+        self.observer = None
 
     def bind(self, controller: "MscController") -> None:
         self.controller = controller
@@ -100,8 +104,17 @@ class SteeringPolicy:
         pass
 
     # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        """Key parameters for manifests; subclasses override."""
+        return {}
+
     def describe(self) -> str:
-        return self.name
+        """Manifest-ready one-liner: policy name plus key parameters."""
+        params = self.describe_params()
+        if not params:
+            return self.name
+        inner = ", ".join(f"{k}={v}" for k, v in params.items())
+        return f"{self.name}({inner})"
 
 
 class BaselinePolicy(SteeringPolicy):

@@ -51,6 +51,17 @@ class BatmanPolicy(SteeringPolicy):
         self.target_hit_rate = b_cache / (b_cache + b_mm)
 
     # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        return {
+            "epoch_cycles": self.epoch_cycles,
+            "margin": self.margin,
+            "step_fraction": self.step_fraction,
+            "target_hit_rate": round(self.target_hit_rate, 4),
+            "disabled_sets": len(self._disabled),
+            "epochs": self.epochs,
+        }
+
+    # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
         if now - self._last_epoch < self.epoch_cycles:
             return

@@ -29,6 +29,14 @@ class BearFillPolicy(SteeringPolicy):
         self.bypassed_fills = 0
 
     # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        return {
+            "leader_modulus": self.leader_modulus,
+            "psel": self._psel,
+            "bypassed_fills": self.bypassed_fills,
+        }
+
+    # ------------------------------------------------------------------
     def _group(self, line: int) -> int:
         array = self.controller.array
         return array.set_index(line) % self.leader_modulus

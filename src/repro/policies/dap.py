@@ -33,20 +33,32 @@ class DapSectoredPolicy(SteeringPolicy):
 
     # Decisions ---------------------------------------------------------
     def bypass_fill(self, now: int, line: int) -> bool:
-        return self.engine.allow_fill_bypass(now)
+        granted = self.engine.allow_fill_bypass(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "fwb", granted, self.engine)
+        return granted
 
     def bypass_write(self, now: int, line: int) -> bool:
         if not self.enable_wb:
             return False
-        return self.engine.allow_write_bypass(now)
+        granted = self.engine.allow_write_bypass(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "wb", granted, self.engine)
+        return granted
 
     def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
         if not self.enable_ifrm:
             return False
-        return self.engine.allow_forced_miss(now)
+        granted = self.engine.allow_forced_miss(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "ifrm", granted, self.engine)
+        return granted
 
     def speculative_read(self, now: int, line: int) -> bool:
-        return self.engine.allow_speculative_read(now)
+        granted = self.engine.allow_speculative_read(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "sfrm", granted, self.engine)
+        return granted
 
     # Demand recording ----------------------------------------------------
     def note_ms_access(self, count: int = 1) -> None:
@@ -64,9 +76,15 @@ class DapSectoredPolicy(SteeringPolicy):
     def note_clean_hit(self) -> None:
         self.engine.note_clean_hit()
 
-    def describe(self) -> str:
-        parts = ", ".join(f"{k}={v}" for k, v in self.engine.decisions.items())
-        return f"dap({parts})"
+    def describe_params(self) -> dict:
+        return {
+            "window": self.engine.window,
+            "efficiency": self.engine.efficiency,
+            "sfrm": self.engine.enable_sfrm,
+            "ifrm": self.enable_ifrm,
+            "wb": self.enable_wb,
+            **self.engine.decisions,
+        }
 
 
 class ThreadAwareDapPolicy(DapSectoredPolicy):
@@ -120,8 +138,13 @@ class ThreadAwareDapPolicy(DapSectoredPolicy):
             # A latency-sensitive thread: only spend abundant credits.
             if engine._ifrm.value < engine._ifrm.max_value * 0.25:
                 self.deferred_ifrm += 1
+                if self.observer is not None:
+                    self.observer.decision(now, line, "ifrm", False, engine)
                 return False
-        return engine.allow_forced_miss(now)
+        granted = engine.allow_forced_miss(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "ifrm", granted, engine)
+        return granted
 
 
 class DapAlloyPolicy(SteeringPolicy):
@@ -141,10 +164,20 @@ class DapAlloyPolicy(SteeringPolicy):
                                efficiency=efficiency)
 
     def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
-        return self.engine.allow_forced_miss(now)
+        granted = self.engine.allow_forced_miss(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "ifrm", granted, self.engine)
+        return granted
 
     def write_through(self, now: int, line: int) -> bool:
-        return self.engine.allow_write_through(now)
+        granted = self.engine.allow_write_through(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "wt", granted, self.engine)
+        return granted
+
+    def describe_params(self) -> dict:
+        return {"window": self.engine.window, "k": str(self.engine.k),
+                **self.engine.decisions}
 
     def note_ms_access(self, count: int = 1) -> None:
         self.engine.note_ms_access(count)
@@ -179,13 +212,26 @@ class DapEdramPolicy(SteeringPolicy):
                                efficiency=efficiency)
 
     def bypass_fill(self, now: int, line: int) -> bool:
-        return self.engine.allow_fill_bypass(now)
+        granted = self.engine.allow_fill_bypass(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "fwb", granted, self.engine)
+        return granted
 
     def bypass_write(self, now: int, line: int) -> bool:
-        return self.engine.allow_write_bypass(now)
+        granted = self.engine.allow_write_bypass(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "wb", granted, self.engine)
+        return granted
 
     def force_read_miss(self, now: int, line: int, core_id: int = -1) -> bool:
-        return self.engine.allow_forced_miss(now)
+        granted = self.engine.allow_forced_miss(now)
+        if self.observer is not None:
+            self.observer.decision(now, line, "ifrm", granted, self.engine)
+        return granted
+
+    def describe_params(self) -> dict:
+        return {"window": self.engine.window, "k": str(self.engine.k),
+                **self.engine.decisions}
 
     def note_ms_read(self, count: int = 1) -> None:
         self.engine.note_ms_read(count)

@@ -45,6 +45,16 @@ class SbdPolicy(SteeringPolicy):
         self.cleaned_lines = 0
 
     # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        return {
+            "dirty_threshold": self.dirty_threshold,
+            "epoch_cycles": self.epoch_cycles,
+            "force_cleaning": self.force_cleaning,
+            "steered_reads": self.steered_reads,
+            "cleanings": self.cleanings,
+        }
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _page(line: int) -> int:
         return line // PAGE_LINES
