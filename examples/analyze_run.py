@@ -1,0 +1,49 @@
+"""Trace one run and audit its access partitioning offline.
+
+Runs a rate-8 mix under baseline and DAP with telemetry on, then feeds
+the traces through the offline analyzer: measured per-source access
+fractions vs the paper's optimum f*_i = B_i / sum(B_j) (Eq. 3), the
+partition gap, and the bandwidth lost to imbalance (Eq. 2).
+
+Usage::
+
+    python examples/analyze_run.py [workload] [trace_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.common import SMOKE, run_mix, scaled_config
+from repro.obs.analysis import analyze_trace, render_markdown
+from repro.obs.telemetry import TelemetryConfig
+from repro.workloads.mixes import rate_mix
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    trace_dir = Path(sys.argv[2] if len(sys.argv) > 2 else ".repro-traces/example")
+    mix = rate_mix(workload)
+    telemetry = TelemetryConfig(probe_interval=5_000,
+                                trace_dir=str(trace_dir))
+
+    for policy in ("baseline", "dap"):
+        label = f"{mix.name}_{policy}"
+        run_mix(mix, scaled_config(SMOKE, policy=policy), SMOKE,
+                telemetry=telemetry, label=label)
+
+    print(f"traces under {trace_dir}\n")
+    for trace in sorted(trace_dir.rglob("*.trace.jsonl")):
+        analysis = analyze_trace(trace)  # bandwidths from the manifest
+        print(render_markdown(analysis, width=48))
+        print()
+        fractions = analysis.measured_fractions()
+        print(f"{trace.stem}: partition gap "
+              f"{analysis.mean_partition_gap():.4f}, "
+              f"lost {analysis.mean_loss_gbps():.1f} GB/s, "
+              f"measured fractions "
+              + ", ".join(f"{s}={f:.3f}" for s, f in fractions.items()))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ import time
 from repro.experiments.cellcache import CellCache, default_cache_dir
 from repro.experiments.common import get_scale, scaled_config
 from repro.experiments.exec import MixCell, execute_cells
+from repro.obs.bench import build_bench_record, write_bench
 from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
 from repro.workloads.mixes import rate_mix
 
@@ -50,6 +51,8 @@ def main(argv=None):
                         default=DEFAULT_PROBE_INTERVAL)
     parser.add_argument("--trace-dir", default=DEFAULT_TRACE_DIR,
                         metavar="DIR")
+    parser.add_argument("--bench", default=None, metavar="FILE",
+                        help="write a BENCH performance-trajectory record")
     args = parser.parse_args(argv)
 
     scale = get_scale()
@@ -88,7 +91,13 @@ def main(argv=None):
     if stats.profile:
         print(stats.profile_summary())
     if args.trace and stats.executed:
-        print(f"[traces written under {args.trace_dir}]")
+        print(f"[traces written under {args.trace_dir} — inspect with "
+              f"'repro-analyze report {args.trace_dir}']")
+    if args.bench:
+        record = build_bench_record(
+            run_id=f"smoke:{'+'.join(args.workloads)}@{scale.name}",
+            per_experiment={"smoke": stats}, scale=scale.name)
+        print(f"[bench record written to {write_bench(args.bench, record)}]")
     return 1 if stats.failed else 0
 
 

@@ -163,17 +163,21 @@ def run_mix(mix: Mix, config: SystemConfig, scale: Scale,
         system.telemetry = tel
 
     start = time.perf_counter()
-    system.run()
+    try:
+        system.run()
+    finally:
+        # Flush and close the trace even when the run raises, so a
+        # failing cell still leaves a readable (if truncated) trace.
+        if tel is not None:
+            tel.close()
     wall = time.perf_counter() - start
 
     result = collect_result(system)
     manifest = build_manifest(system, wall, label=label, scale=scale.name,
                               telemetry=tel)
     result.extras["manifest"] = manifest
-    if tel is not None:
-        tel.close()
-        if manifest_path is not None:
-            write_manifest(manifest_path, manifest)
+    if manifest_path is not None:
+        write_manifest(manifest_path, manifest)
     return result
 
 

@@ -40,6 +40,7 @@ from repro.experiments.cellcache import (
 from repro.experiments.exec import run_spec
 from repro.experiments.registry import EXPERIMENTS, get_spec, iter_specs
 from repro.metrics.charts import chart_result
+from repro.obs.bench import build_bench_record, write_bench
 from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
 
 DEFAULT_TRACE_DIR = ".repro-traces"
@@ -124,6 +125,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="where --trace writes "
                              "<experiment>/<cell>.trace.jsonl "
                              f"(default: {DEFAULT_TRACE_DIR})")
+    parser.add_argument("--bench", metavar="FILE", default=None,
+                        help="write a BENCH performance-trajectory record "
+                             "(per-experiment wall time and events/sec; "
+                             "compare with 'repro-analyze bench')")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -150,6 +155,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   "(not workload-aware; see --list)", file=sys.stderr)
 
     totals = ExecStats()
+    per_experiment: dict[str, ExecStats] = {}
     failed: list[str] = []
     for name in names:
         start = time.time()
@@ -192,6 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"[csv written to {path}]")
         stats = result.stats
         if stats is not None:
+            per_experiment[name] = stats
             totals.merge(stats)
             print(f"[{name} took {time.time() - start:.1f}s — "
                   f"{stats.summary()}]")
@@ -207,6 +214,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"[run summary: {totals.summary()}]")
         if totals.profile:
             print(totals.profile_summary())
+    if args.bench and per_experiment:
+        scale = args.scale or os.environ.get("REPRO_SCALE", "smoke")
+        record = build_bench_record(
+            run_id=f"{'+'.join(sorted(per_experiment))}@{scale}",
+            per_experiment=per_experiment, scale=scale)
+        print(f"[bench record written to {write_bench(args.bench, record)}]")
     if failed:
         print(f"error: {len(failed)} experiment(s) failed: "
               f"{', '.join(failed)}", file=sys.stderr)

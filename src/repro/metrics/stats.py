@@ -102,7 +102,25 @@ def collect_result(system: System) -> RunResult:
     cache_cas = _cache_cas_total(system)
     total_cas = mm_cas + cache_cas
 
+    # Per-source delivered bandwidth and measured access fractions, so
+    # offline reports can compare the run's partition against the
+    # bandwidth model's optimum without re-deriving from CAS counts.
+    write_dev = getattr(msc, "cache_write_dev", None)
+    mm_dev_cas = mm_cas
+    cache_dev_cas = msc.cache_dev.total_cas()
+    write_dev_cas = write_dev.total_cas() if write_dev is not None else 0
+    dev_total = mm_dev_cas + cache_dev_cas + write_dev_cas
+
     extras = {
+        "mm_gbps": msc.mm_dev.delivered_gbps(),
+        "cache_gbps": msc.cache_dev.delivered_gbps(),
+        "cache_write_gbps": (write_dev.delivered_gbps()
+                             if write_dev is not None else 0.0),
+        "mm_access_fraction": mm_dev_cas / dev_total if dev_total else 0.0,
+        "cache_access_fraction": (cache_dev_cas / dev_total
+                                  if dev_total else 0.0),
+        "cache_write_access_fraction": (write_dev_cas / dev_total
+                                        if dev_total else 0.0),
         "mm_row_hit_rate": msc.mm_dev.row_hit_rate(),
         "cache_row_hit_rate": msc.cache_dev.row_hit_rate(),
         "sfrm_issued": float(msc.stats.sfrm_issued),

@@ -1,7 +1,8 @@
-"""In-run observability: probes, traces, and run manifests.
+"""In-run observability and offline analysis of finished runs.
 
-The :mod:`repro.obs` package turns the simulator's end-of-run aggregates
-into time series. A :class:`Telemetry` hub samples registered probes on
+The :mod:`repro.obs` package has two halves:
+
+**In-run** (PR 2): a :class:`Telemetry` hub samples registered probes on
 a simulated-cycle interval (through the event queue, so sampling is
 deterministic and never perturbs component state), keeps the series in
 bounded ring buffers, and optionally streams every sample — plus
@@ -9,25 +10,79 @@ per-decision DAP events — to a JSONL trace file. Every simulation run
 additionally emits a :func:`run manifest <repro.obs.manifest.build_manifest>`
 describing exactly what was simulated and how fast.
 
+**Offline** (this PR): :func:`analyze_trace` streams a finished trace
+into per-window measured-vs-optimal access partitioning (the paper's
+Eq. 2/3), technique grant/deny accounting, and channel timelines;
+:mod:`repro.obs.compare` diffs two runs with regression thresholds; and
+:mod:`repro.obs.bench` tracks simulator throughput across commits
+(``BENCH_*.json``). All of it is exposed by the ``repro-analyze`` CLI
+(:mod:`repro.obs.cli`) and is strictly read-only: analysis never touches
+simulation state or results.
+
 Telemetry is strictly opt-in: when no :class:`TelemetryConfig` is
 supplied, no probes are registered and the only per-decision cost in the
 hot path is a single ``is None`` check on the policy's observer slot.
 """
 
+from repro.obs.analysis import (
+    TraceAnalysis,
+    analyze_trace,
+    render_csv,
+    render_markdown,
+    sparkline,
+)
+from repro.obs.bench import (
+    build_bench_record,
+    compare_bench,
+    latest_bench,
+    load_bench,
+    write_bench,
+)
+from repro.obs.compare import (
+    MetricSpec,
+    compare_dirs,
+    compare_runs,
+    diff_manifests,
+    render_comparison,
+    render_dir_comparison,
+)
 from repro.obs.manifest import build_manifest, git_sha
 from repro.obs.probes import attach_system_probes
 from repro.obs.telemetry import Series, Telemetry, TelemetryConfig
-from repro.obs.trace import TraceWriter, read_trace, trace_paths, write_manifest
+from repro.obs.trace import (
+    TraceWriter,
+    iter_trace,
+    read_trace,
+    trace_paths,
+    write_manifest,
+)
 
 __all__ = [
+    "MetricSpec",
     "Series",
     "Telemetry",
     "TelemetryConfig",
+    "TraceAnalysis",
     "TraceWriter",
+    "analyze_trace",
     "attach_system_probes",
+    "build_bench_record",
     "build_manifest",
+    "compare_bench",
+    "compare_dirs",
+    "compare_runs",
+    "diff_manifests",
     "git_sha",
+    "iter_trace",
+    "latest_bench",
+    "load_bench",
     "read_trace",
+    "render_comparison",
+    "render_csv",
+    "render_dir_comparison",
+    "render_markdown",
+    "sparkline",
     "trace_paths",
+    "write_bench",
     "write_manifest",
 ]

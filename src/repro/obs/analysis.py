@@ -1,0 +1,548 @@
+"""Offline trace analysis: from raw telemetry to partition-optimality.
+
+The paper's central question about any finished run is *how close did
+the steering policy hold each window to the optimal partition*
+``f_i* = B_i / sum(B_j)`` (Eq. 3), and how much delivered bandwidth the
+remaining gap cost (Eq. 2). :func:`analyze_trace` answers it from a
+``*.trace.jsonl`` written by :mod:`repro.obs`:
+
+- **per-window partition accounting** — each probe sample window gets
+  measured per-source access fractions (from the per-window ``*.gbps``
+  probes), the total-variation *partition gap* to
+  :func:`repro.core.bandwidth_model.optimal_fractions`, and a bandwidth
+  *loss* estimate ``sum(B_i) - delivered_bandwidth(B, f_measured)``;
+- **technique accounting** — grant/deny rates per DAP technique
+  (fwb/wb/ifrm/sfrm/wt) and credit-counter exhaustion statistics from
+  the per-decision event stream;
+- **channel timelines** — queue depth, row-hit rate, busy fraction and
+  delivered GB/s per source, rendered as dependency-free ASCII
+  sparklines by :func:`render_markdown`.
+
+Unlike ``read_trace`` this is a *streaming* pass: decision records (the
+high-volume stream) fold into O(1) counters as they are read, and the
+per-window series is bounded — past ``max_windows`` windows, adjacent
+windows merge pairwise (resolution halves), so arbitrarily long traces
+analyze in constant memory.
+
+Source bandwidths come from the sidecar run manifest (reconstructing
+the run's actual :class:`~repro.mem.configs.DramConfig`), or can be
+supplied explicitly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.bandwidth_model import delivered_bandwidth, optimal_fractions
+from repro.errors import ConfigError
+from repro.mem.configs import DramConfig, edram_channels
+from repro.mem.timing import DramTiming
+from repro.obs.trace import iter_trace
+
+#: Past this many windows, adjacent windows merge pairwise (constant
+#: memory for arbitrarily long traces).
+DEFAULT_MAX_WINDOWS = 4096
+
+#: Per-source probe suffixes kept as report timelines.
+TIMELINE_SUFFIXES = ("read_q", "write_q", "busy_frac", "row_hit_rate", "gbps")
+
+#: Controller probes kept as report timelines.
+CONTROLLER_PROBES = ("msc.outstanding_reads", "msc.read_latency_ewma")
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+# ----------------------------------------------------------------------
+# Bandwidth reconstruction
+# ----------------------------------------------------------------------
+
+def _dram_from_dict(data: dict) -> DramConfig:
+    """Rebuild a DramConfig from its ``dataclasses.asdict`` rendering."""
+    payload = dict(data)
+    payload["timing"] = DramTiming(**payload["timing"])
+    return DramConfig(**payload)
+
+
+def bandwidths_from_manifest(manifest: dict) -> dict[str, float]:
+    """Per-source peak GB/s (the paper's ``B_i``) for a manifested run.
+
+    Sources use the trace's probe prefixes: ``cache`` (the memory-side
+    cache read path), ``mm`` (main memory) and, on eDRAM platforms,
+    ``cache_wr`` (the independent write channels).
+    """
+    config = manifest.get("config")
+    if not isinstance(config, dict):
+        raise ConfigError("manifest carries no config; pass bandwidths "
+                          "explicitly")
+    mm = _dram_from_dict(config["mm_dram"])
+    if config.get("msc_kind") == "edram":
+        # The eDRAM controller ignores msc_dram and builds fixed
+        # read/write channel sets (see hierarchy.system._build_msc).
+        return {
+            "cache": edram_channels("read").peak_gbps,
+            "cache_wr": edram_channels("write").peak_gbps,
+            "mm": mm.peak_gbps,
+        }
+    cache = _dram_from_dict(config["msc_dram"])
+    return {"cache": cache.peak_gbps, "mm": mm.peak_gbps}
+
+
+# ----------------------------------------------------------------------
+# Per-window derived metrics
+# ----------------------------------------------------------------------
+
+@dataclass
+class WindowMetrics:
+    """Derived metrics for one analysis window (>= one probe sample)."""
+
+    cycle: int                   # cycle of the window's last sample
+    weight: int                  # raw probe samples merged into this row
+    gbps: dict[str, float]       # mean delivered GB/s per source
+    grants: dict[str, int]       # technique grants during the window
+    probes: dict[str, float]     # mean timeline probe values
+    fractions: Optional[dict[str, float]] = None  # measured access shares
+    partition_gap: Optional[float] = None         # TV distance to optimal
+    loss_gbps: Optional[float] = None             # Eq. 2 bandwidth left
+
+    @property
+    def delivered_gbps(self) -> float:
+        return sum(self.gbps.values())
+
+
+def _derive(window: WindowMetrics, sources: Sequence[str],
+            bandwidths: Optional[dict[str, float]],
+            optimal: Optional[dict[str, float]]) -> None:
+    """Fill a window's fraction/gap/loss fields from its gbps means."""
+    total = sum(window.gbps.values())
+    if total <= 0:
+        window.fractions = None
+        window.partition_gap = None
+        window.loss_gbps = None
+        return
+    window.fractions = {s: window.gbps[s] / total for s in sources}
+    if not bandwidths or not optimal:
+        return
+    window.partition_gap = 0.5 * sum(
+        abs(window.fractions[s] - optimal[s]) for s in sources)
+    bw = [bandwidths[s] for s in sources]
+    frac = [window.fractions[s] for s in sources]
+    # Renormalize away float dust so Eq. 2's sum-to-1 check holds.
+    norm = sum(frac)
+    frac = [f / norm for f in frac]
+    window.loss_gbps = max(0.0, sum(bw) - delivered_bandwidth(bw, frac))
+
+
+def _merge_pair(a: WindowMetrics, b: WindowMetrics) -> WindowMetrics:
+    """Weighted merge of two adjacent windows (downsampling step)."""
+    total = a.weight + b.weight
+
+    def mean(x: float, y: float) -> float:
+        return (x * a.weight + y * b.weight) / total
+
+    keys = set(a.gbps) | set(b.gbps)
+    gbps = {k: mean(a.gbps.get(k, 0.0), b.gbps.get(k, 0.0)) for k in keys}
+    grants = {k: a.grants.get(k, 0) + b.grants.get(k, 0)
+              for k in set(a.grants) | set(b.grants)}
+    probes = {k: mean(a.probes.get(k, 0.0), b.probes.get(k, 0.0))
+              for k in set(a.probes) | set(b.probes)}
+    return WindowMetrics(cycle=b.cycle, weight=total, gbps=gbps,
+                         grants=grants, probes=probes)
+
+
+# ----------------------------------------------------------------------
+# The analysis container
+# ----------------------------------------------------------------------
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze_trace` derives from one trace."""
+
+    path: str
+    label: str = ""
+    probe_interval: int = 0
+    sources: tuple = ()
+    bandwidths: Optional[dict[str, float]] = None
+    #: Eq. 3 optimum, exactly as ``optimal_fractions`` returns it.
+    optimal: Optional[dict[str, float]] = None
+    windows: list[WindowMetrics] = field(default_factory=list)
+    #: Per-technique decision accounting from the event stream.
+    decisions: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Per-technique credit statistics at decision time.
+    credits: dict[str, dict[str, float]] = field(default_factory=dict)
+    manifest: Optional[dict] = None
+    samples: int = 0
+    decision_records: int = 0
+
+    # ------------------------------------------------------------------
+    def timeline(self, key: str) -> list[Optional[float]]:
+        """One probe's per-window mean series (None where absent)."""
+        return [w.probes.get(key) for w in self.windows]
+
+    def fraction_timeline(self, source: str) -> list[Optional[float]]:
+        return [w.fractions.get(source) if w.fractions else None
+                for w in self.windows]
+
+    def measured_fractions(self) -> Optional[dict[str, float]]:
+        """Traffic-weighted overall access share per source."""
+        totals = {s: 0.0 for s in self.sources}
+        for window in self.windows:
+            for s in self.sources:
+                totals[s] += window.gbps.get(s, 0.0) * window.weight
+        grand = sum(totals.values())
+        if grand <= 0:
+            return None
+        return {s: totals[s] / grand for s in self.sources}
+
+    def mean_partition_gap(self) -> Optional[float]:
+        gaps = [(w.partition_gap, w.weight) for w in self.windows
+                if w.partition_gap is not None]
+        if not gaps:
+            return None
+        return sum(g * w for g, w in gaps) / sum(w for _, w in gaps)
+
+    def mean_loss_gbps(self) -> Optional[float]:
+        losses = [(w.loss_gbps, w.weight) for w in self.windows
+                  if w.loss_gbps is not None]
+        if not losses:
+            return None
+        return sum(l * w for l, w in losses) / sum(w for _, w in losses)
+
+    def mean_delivered_gbps(self) -> float:
+        if not self.windows:
+            return 0.0
+        total = sum(w.delivered_gbps * w.weight for w in self.windows)
+        return total / sum(w.weight for w in self.windows)
+
+    def grant_rates(self) -> dict[str, float]:
+        """Granted / (granted + denied) per technique."""
+        rates = {}
+        for tech, counts in sorted(self.decisions.items()):
+            seen = counts["granted"] + counts["denied"]
+            rates[tech] = counts["granted"] / seen if seen else 0.0
+        return rates
+
+    def metrics(self) -> dict[str, float]:
+        """The flat scalar digest the run comparator diffs."""
+        out: dict[str, float] = {}
+        if self.manifest:
+            for key in ("cycles", "events", "events_per_sec",
+                        "wall_seconds"):
+                value = self.manifest.get(key)
+                if isinstance(value, (int, float)):
+                    out[key] = float(value)
+        out["mean_delivered_gbps"] = self.mean_delivered_gbps()
+        gap = self.mean_partition_gap()
+        if gap is not None:
+            out["mean_partition_gap"] = gap
+        loss = self.mean_loss_gbps()
+        if loss is not None:
+            out["mean_loss_gbps"] = loss
+        latency = [v for v in self.timeline("msc.read_latency_ewma")
+                   if v is not None]
+        if latency:
+            out["mean_read_latency"] = sum(latency) / len(latency)
+        measured = self.measured_fractions()
+        if measured:
+            for source, value in measured.items():
+                out[f"fraction.{source}"] = value
+        for tech, rate in self.grant_rates().items():
+            out[f"grant_rate.{tech}"] = rate
+        return out
+
+
+# ----------------------------------------------------------------------
+# The streaming analyzer
+# ----------------------------------------------------------------------
+
+def _manifest_beside(trace_path: Path) -> Optional[dict]:
+    name = trace_path.name
+    if name.endswith(".trace.jsonl"):
+        sidecar = trace_path.with_name(
+            name[: -len(".trace.jsonl")] + ".manifest.json")
+        try:
+            with open(sidecar, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+    return None
+
+
+def analyze_trace(
+    path: Union[str, Path],
+    bandwidths: Optional[dict[str, float]] = None,
+    manifest: Optional[dict] = None,
+    max_windows: int = DEFAULT_MAX_WINDOWS,
+) -> TraceAnalysis:
+    """Stream one ``*.trace.jsonl`` into a :class:`TraceAnalysis`.
+
+    ``bandwidths`` (peak GB/s per source prefix) overrides the manifest
+    reconstruction; without either, per-window fractions are still
+    measured but the optimal-partition comparison is skipped.
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = _manifest_beside(path)
+    analysis = TraceAnalysis(path=str(path), manifest=manifest)
+
+    sources: list[str] = []
+    optimal: Optional[dict[str, float]] = None
+    granted_keys: list[str] = []
+    prev_granted: dict[str, float] = {}
+    pending: Optional[WindowMetrics] = None
+    stride = 1          # raw samples folded into one window
+    fill = 0            # raw samples folded into `pending` so far
+    credit_sum: dict[str, float] = {}
+    credit_zero: dict[str, int] = {}
+    credit_n: dict[str, int] = {}
+
+    def flush_pending() -> None:
+        nonlocal pending, fill
+        if pending is not None:
+            analysis.windows.append(pending)
+        pending, fill = None, 0
+
+    def downsample() -> None:
+        nonlocal stride
+        merged = []
+        windows = analysis.windows
+        for i in range(0, len(windows) - 1, 2):
+            merged.append(_merge_pair(windows[i], windows[i + 1]))
+        if len(windows) % 2:
+            merged.append(windows[-1])
+        analysis.windows = merged
+        stride *= 2
+
+    for record in iter_trace(path):
+        kind = record.get("t")
+        if kind == "meta":
+            analysis.label = record.get("label", "")
+            analysis.probe_interval = int(record.get("probe_interval", 0))
+            probes = record.get("probes", [])
+            sources = [p[: -len(".gbps")] for p in probes
+                       if p.endswith(".gbps") and not p.startswith("dap.")]
+            sources.sort()
+            analysis.sources = tuple(sources)
+            granted_keys = [p for p in probes if p.startswith("dap.granted.")]
+            if bandwidths is None and manifest is not None:
+                try:
+                    bandwidths = bandwidths_from_manifest(manifest)
+                except (ConfigError, KeyError, TypeError):
+                    bandwidths = None
+            if bandwidths is not None and sources:
+                missing = [s for s in sources if s not in bandwidths]
+                if missing:
+                    raise ConfigError(
+                        f"no bandwidth given for source(s) {missing}; "
+                        f"have {sorted(bandwidths)}")
+                analysis.bandwidths = {s: bandwidths[s] for s in sources}
+                fractions = optimal_fractions(
+                    [bandwidths[s] for s in sources])
+                optimal = dict(zip(sources, fractions))
+                analysis.optimal = optimal
+        elif kind == "sample":
+            analysis.samples += 1
+            values = record.get("values", {})
+            cycle = int(record.get("cycle", 0))
+            gbps = {s: float(values.get(f"{s}.gbps", 0.0)) for s in sources}
+            grants = {}
+            for key in granted_keys:
+                tech = key[len("dap.granted."):]
+                now_count = float(values.get(key, 0.0))
+                grants[tech] = int(now_count - prev_granted.get(key, 0.0))
+                prev_granted[key] = now_count
+            probes = {}
+            for s in sources:
+                for suffix in TIMELINE_SUFFIXES:
+                    key = f"{s}.{suffix}"
+                    if key in values:
+                        probes[key] = float(values[key])
+            for key in CONTROLLER_PROBES:
+                if key in values:
+                    probes[key] = float(values[key])
+            sample = WindowMetrics(cycle=cycle, weight=1, gbps=gbps,
+                                   grants=grants, probes=probes)
+            pending = sample if pending is None else _merge_pair(
+                pending, sample)
+            fill += 1
+            if fill >= stride:
+                flush_pending()
+                if len(analysis.windows) > max_windows:
+                    downsample()
+        elif kind == "decision":
+            analysis.decision_records += 1
+            tech = record.get("technique", "?")
+            counts = analysis.decisions.setdefault(
+                tech, {"granted": 0, "denied": 0})
+            counts["granted" if record.get("granted") else "denied"] += 1
+            for name, value in (record.get("credits") or {}).items():
+                credit_sum[name] = credit_sum.get(name, 0.0) + float(value)
+                credit_n[name] = credit_n.get(name, 0) + 1
+                if not value:
+                    credit_zero[name] = credit_zero.get(name, 0) + 1
+
+    flush_pending()
+    for window in analysis.windows:
+        _derive(window, analysis.sources, analysis.bandwidths, optimal)
+    analysis.credits = {
+        name: {
+            "mean": credit_sum[name] / credit_n[name],
+            "exhausted_frac": credit_zero.get(name, 0) / credit_n[name],
+        }
+        for name in sorted(credit_n)
+    }
+    return analysis
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def sparkline(values: Sequence[Optional[float]], width: int = 60) -> str:
+    """Dependency-free ASCII sparkline (block glyphs, mean-bucketed)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed: list[Optional[float]] = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = [v for v in values[lo:hi] if v is not None]
+            bucketed.append(sum(chunk) / len(chunk) if chunk else None)
+        values = bucketed
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * len(values)
+    low, high = min(present), max(present)
+    span = high - low
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_SPARK_BLOCKS[0])
+        else:
+            idx = int((v - low) / span * (len(_SPARK_BLOCKS) - 1))
+            chars.append(_SPARK_BLOCKS[idx])
+    return "".join(chars)
+
+
+def _fmt(value: Optional[float], digits: int = 3) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def render_markdown(analysis: TraceAnalysis, width: int = 60) -> str:
+    """A human-readable partition-optimality report for one run."""
+    lines = [f"# Trace report: {analysis.label or analysis.path}", ""]
+    manifest = analysis.manifest or {}
+    if manifest:
+        lines.append(
+            f"- policy `{manifest.get('policy')}` | scale "
+            f"`{manifest.get('scale')}` | cycles {manifest.get('cycles')} | "
+            f"{manifest.get('events')} events @ "
+            f"{manifest.get('events_per_sec')} events/s | git "
+            f"`{(manifest.get('git_sha') or 'n/a')[:12]}`")
+    lines.append(
+        f"- {analysis.samples} probe samples every "
+        f"{analysis.probe_interval} cycles -> {len(analysis.windows)} "
+        f"analysis windows; {analysis.decision_records} decision events")
+    lines.append("")
+
+    lines.append("## Access partitioning (Eq. 2/3)")
+    lines.append("")
+    measured = analysis.measured_fractions()
+    header = "| source | B_i (GB/s) | f* optimal | f measured | delta |"
+    lines.append(header)
+    lines.append("|---|---|---|---|---|")
+    for source in analysis.sources:
+        b = (analysis.bandwidths or {}).get(source)
+        opt = (analysis.optimal or {}).get(source)
+        meas = (measured or {}).get(source)
+        delta = (meas - opt) if (meas is not None and opt is not None) else None
+        lines.append(
+            f"| {source} | {_fmt(b, 1)} | {_fmt(opt, 4)} | "
+            f"{_fmt(meas, 4)} | {_fmt(delta, 4)} |")
+    lines.append("")
+    gap = analysis.mean_partition_gap()
+    loss = analysis.mean_loss_gbps()
+    lines.append(
+        f"- mean partition gap {_fmt(gap, 4)} (0 = optimal split), "
+        f"mean bandwidth left on the table {_fmt(loss, 2)} GB/s, "
+        f"mean delivered {analysis.mean_delivered_gbps():.2f} GB/s")
+    lines.append("")
+
+    if analysis.decisions:
+        lines.append("## DAP technique accounting")
+        lines.append("")
+        lines.append("| technique | granted | denied | grant rate | "
+                     "mean credits | exhausted |")
+        lines.append("|---|---|---|---|---|---|")
+        rates = analysis.grant_rates()
+        for tech in sorted(analysis.decisions):
+            counts = analysis.decisions[tech]
+            credit = analysis.credits.get(tech, {})
+            lines.append(
+                f"| {tech} | {counts['granted']} | {counts['denied']} | "
+                f"{rates[tech]:.3f} | {_fmt(credit.get('mean'), 1)} | "
+                f"{_fmt(credit.get('exhausted_frac'), 3)} |")
+        lines.append("")
+
+    lines.append("## Timelines")
+    lines.append("")
+    lines.append("```")
+    shown: list[tuple[str, list[Optional[float]]]] = []
+    for source in analysis.sources:
+        shown.append((f"frac.{source}",
+                      analysis.fraction_timeline(source)))
+    for source in analysis.sources:
+        for suffix in ("gbps", "read_q", "row_hit_rate"):
+            shown.append((f"{source}.{suffix}",
+                          analysis.timeline(f"{source}.{suffix}")))
+    for key in CONTROLLER_PROBES:
+        shown.append((key, analysis.timeline(key)))
+    label_w = max((len(k) for k, _ in shown), default=0)
+    for key, series in shown:
+        present = [v for v in series if v is not None]
+        if not present:
+            continue
+        lines.append(
+            f"{key.ljust(label_w)}  {sparkline(series, width)}  "
+            f"min {min(present):.3g} max {max(present):.3g}")
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_csv(analysis: TraceAnalysis) -> str:
+    """Per-window derived metrics as CSV (one row per analysis window)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    sources = list(analysis.sources)
+    header = ["cycle", "samples"]
+    header += [f"gbps.{s}" for s in sources]
+    header += [f"fraction.{s}" for s in sources]
+    header += [f"optimal.{s}" for s in sources]
+    header += ["partition_gap", "loss_gbps", "delivered_gbps"]
+    techs = sorted({t for w in analysis.windows for t in w.grants})
+    header += [f"grants.{t}" for t in techs]
+    writer.writerow(header)
+    optimal = analysis.optimal or {}
+    for window in analysis.windows:
+        row: list = [window.cycle, window.weight]
+        row += [f"{window.gbps.get(s, 0.0):.6g}" for s in sources]
+        fractions = window.fractions or {}
+        row += ["" if s not in fractions else f"{fractions[s]:.6g}"
+                for s in sources]
+        row += ["" if s not in optimal else f"{optimal[s]:.6g}"
+                for s in sources]
+        row += ["" if window.partition_gap is None
+                else f"{window.partition_gap:.6g}",
+                "" if window.loss_gbps is None else f"{window.loss_gbps:.6g}",
+                f"{window.delivered_gbps:.6g}"]
+        row += [window.grants.get(t, 0) for t in techs]
+        writer.writerow(row)
+    return out.getvalue()

@@ -22,9 +22,13 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Records between explicit flushes of a :class:`TraceWriter` handle, so
+#: a crashing run still leaves an almost-complete, readable trace behind.
+DEFAULT_FLUSH_EVERY = 256
 
 
 def safe_stem(label: str) -> str:
@@ -40,18 +44,28 @@ def trace_paths(trace_dir: Union[str, Path], label: str) -> tuple[Path, Path]:
 
 
 class TraceWriter:
-    """Append-only JSONL writer; one instance per run."""
+    """Append-only JSONL writer; one instance per run.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    The handle is flushed every ``flush_every`` records (and on
+    :meth:`close`), so an interrupted run loses at most the last batch —
+    and the final line a crash does tear is tolerated by
+    :func:`iter_trace` / :func:`read_trace`.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 flush_every: int = DEFAULT_FLUSH_EVERY) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "w", encoding="utf-8")
+        self._flush_every = max(1, flush_every)
         self.records_written = 0
 
     def write(self, record: dict) -> None:
         json.dump(record, self._handle, separators=(",", ":"))
         self._handle.write("\n")
         self.records_written += 1
+        if self.records_written % self._flush_every == 0:
+            self._handle.flush()
 
     def write_meta(self, label: str, probes: list[str], interval: int) -> None:
         self.write({"t": "meta", "label": label, "probes": probes,
@@ -74,19 +88,41 @@ class TraceWriter:
         self.close()
 
 
-def read_trace(path: Union[str, Path],
-               kind: Optional[str] = None) -> list[dict]:
-    """Load a JSONL trace, optionally filtered to one record kind."""
-    records: list[dict] = []
+def iter_trace(path: Union[str, Path],
+               kind: Optional[str] = None) -> Iterator[dict]:
+    """Stream a JSONL trace one record at a time (constant memory).
+
+    Optionally filters to one record ``kind`` (the ``"t"`` field). A
+    truncated/partial *final* line — the signature of a run interrupted
+    mid-write — is silently dropped; an unparsable line anywhere else
+    means the file is corrupt and raises ``json.JSONDecodeError``.
+    """
     with open(path, "r", encoding="utf-8") as handle:
+        pending_error: Optional[json.JSONDecodeError] = None
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            if pending_error is not None:
+                # The bad line was *not* the last one: real corruption.
+                raise pending_error
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending_error = exc
+                continue
             if kind is None or record.get("t") == kind:
-                records.append(record)
-    return records
+                yield record
+
+
+def read_trace(path: Union[str, Path],
+               kind: Optional[str] = None) -> list[dict]:
+    """Load a JSONL trace, optionally filtered to one record kind.
+
+    Shares :func:`iter_trace`'s tolerance of a torn final line; prefer
+    the generator itself for long traces.
+    """
+    return list(iter_trace(path, kind))
 
 
 def write_manifest(path: Union[str, Path], manifest: dict) -> str:

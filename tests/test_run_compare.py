@@ -1,0 +1,177 @@
+"""The run comparator: threshold pass/fail logic, manifest diffing,
+and directory-level comparison with regression exit semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.analysis import analyze_trace
+from repro.obs.compare import (
+    DEFAULT_THRESHOLDS,
+    MetricSpec,
+    compare_dirs,
+    compare_metrics,
+    compare_runs,
+    diff_manifests,
+    render_comparison,
+    render_dir_comparison,
+)
+from repro.obs.trace import TraceWriter, write_manifest
+
+BW = {"cache": 102.4, "mm": 38.4}
+
+
+def write_run(root, stem, gbps_pairs, cycles=10_000, policy="dap"):
+    """One synthetic traced run: trace + sidecar manifest."""
+    trace = root / f"{stem}.trace.jsonl"
+    with TraceWriter(trace) as writer:
+        writer.write_meta(stem, ["cache.gbps", "mm.gbps"], 1000)
+        for i, (cache, mm) in enumerate(gbps_pairs):
+            writer.write_sample(1000 * (i + 1),
+                                {"cache.gbps": cache, "mm.gbps": mm})
+    write_manifest(root / f"{stem}.manifest.json", {
+        "schema": 1, "label": stem, "scale": "smoke", "policy": policy,
+        "policy_describe": policy, "cycles": cycles, "events": cycles * 3,
+        "wall_seconds": 1.0, "events_per_sec": cycles * 3.0,
+        "config": {"policy": policy, "num_cores": 8},
+        "git_sha": "deadbeef", "telemetry": None,
+    })
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Metric threshold logic
+# ----------------------------------------------------------------------
+
+def test_lower_is_better_regression():
+    deltas = compare_metrics({"cycles": 1000.0}, {"cycles": 1100.0})
+    (delta,) = [d for d in deltas if d.name == "cycles"]
+    assert delta.regressed  # cycles went up: worse
+    assert delta.rel_change == pytest.approx(0.10)
+
+    deltas = compare_metrics({"cycles": 1000.0}, {"cycles": 900.0})
+    (delta,) = [d for d in deltas if d.name == "cycles"]
+    assert not delta.regressed  # improvement is never a regression
+
+
+def test_higher_is_better_regression():
+    base = {"events_per_sec": 100_000.0}
+    worse = {"events_per_sec": 40_000.0}   # -60% > default 50% threshold
+    (delta,) = compare_metrics(base, worse)
+    assert delta.regressed
+    (delta,) = compare_metrics(base, {"events_per_sec": 80_000.0})
+    assert not delta.regressed             # -20% within threshold
+
+
+def test_abs_floor_suppresses_tiny_wobbles():
+    # Gap 0.001 -> 0.003 is a 200% relative change but below the 0.02
+    # absolute floor, so it must not fail the gate.
+    deltas = compare_metrics({"mean_partition_gap": 0.001},
+                             {"mean_partition_gap": 0.003})
+    assert not deltas[0].regressed
+    deltas = compare_metrics({"mean_partition_gap": 0.10},
+                             {"mean_partition_gap": 0.20})
+    assert deltas[0].regressed
+
+
+def test_threshold_override_and_informational_metrics():
+    base, cand = {"events": 100.0, "cycles": 100.0}, {"events": 1.0,
+                                                      "cycles": 104.0}
+    deltas = {d.name: d for d in compare_metrics(base, cand)}
+    assert not deltas["events"].regressed          # informational
+    assert deltas["cycles"].regressed              # default gate: any growth
+    loose = {"cycles": MetricSpec(threshold=0.10, higher_is_better=False)}
+    deltas = {d.name: d for d in compare_metrics(base, cand, loose)}
+    assert not deltas["cycles"].regressed          # +4% within 10%
+
+
+def test_metric_missing_on_one_side_is_informational():
+    deltas = compare_metrics({"grant_rate.fwb": 0.5}, {})
+    assert [d.regressed for d in deltas] == [False]
+    assert deltas[0].rel_change is None
+
+
+# ----------------------------------------------------------------------
+# Manifest diff
+# ----------------------------------------------------------------------
+
+def test_diff_manifests_flags_config_changes_only():
+    a = {"policy": "dap", "scale": "smoke", "git_sha": "aaa",
+         "wall_seconds": 1.0, "config": {"num_cores": 8, "dap_window": 64}}
+    b = {"policy": "dap", "scale": "smoke", "git_sha": "bbb",
+         "wall_seconds": 9.0, "config": {"num_cores": 8, "dap_window": 128}}
+    diff = diff_manifests(a, b)
+    assert diff == {"config.dap_window": (64, 128)}  # volatile keys ignored
+
+
+def test_diff_manifests_nested_and_missing():
+    a = {"config": {"mm_dram": {"name": "DDR4-2400"}}}
+    b = {"config": {"mm_dram": {"name": "DDR4-3200"}, "extra": 1}}
+    diff = diff_manifests(a, b)
+    assert diff["config.mm_dram.name"] == ("DDR4-2400", "DDR4-3200")
+    assert diff["config.extra"] == (None, 1)
+
+
+# ----------------------------------------------------------------------
+# Whole-run and directory comparison
+# ----------------------------------------------------------------------
+
+def test_compare_runs_flags_partition_regression(tmp_path):
+    base = write_run(tmp_path / "a", "mcf_dap",
+                     [(72.7, 27.3)] * 4)               # near-optimal
+    cand = write_run(tmp_path / "b", "mcf_dap",
+                     [(95.0, 5.0)] * 4)                # badly skewed
+    result = compare_runs(analyze_trace(base, bandwidths=BW),
+                          analyze_trace(cand, bandwidths=BW))
+    names = {d.name for d in result.regressions}
+    assert "mean_partition_gap" in names
+    assert result.regressed
+    text = render_comparison(result)
+    assert "REGRESSED" in text
+
+
+def test_compare_identical_runs_is_clean(tmp_path):
+    base = write_run(tmp_path / "a", "mcf_dap", [(70.0, 30.0)] * 3)
+    cand = write_run(tmp_path / "b", "mcf_dap", [(70.0, 30.0)] * 3)
+    result = compare_runs(analyze_trace(base, bandwidths=BW),
+                          analyze_trace(cand, bandwidths=BW))
+    assert not result.regressed
+    assert result.manifest_diff == {}
+
+
+def test_compare_runs_reports_config_diff(tmp_path):
+    base = write_run(tmp_path / "a", "run", [(70.0, 30.0)], policy="baseline")
+    cand = write_run(tmp_path / "b", "run", [(70.0, 30.0)], policy="dap")
+    result = compare_runs(analyze_trace(base, bandwidths=BW),
+                          analyze_trace(cand, bandwidths=BW))
+    assert result.manifest_diff["policy"] == ("baseline", "dap")
+
+
+def test_compare_dirs_matches_stems(tmp_path):
+    a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+    write_run(a_dir, "shared", [(70.0, 30.0)] * 3)
+    write_run(a_dir, "only_a", [(70.0, 30.0)])
+    write_run(b_dir, "shared", [(70.0, 30.0)] * 3)
+    write_run(b_dir, "only_b", [(70.0, 30.0)])
+    result = compare_dirs(a_dir, b_dir)
+    assert [run.label for run in result.runs] == ["shared"]
+    assert result.only_baseline == ["only_a"]
+    assert result.only_candidate == ["only_b"]
+    assert not result.regressed
+    text = render_dir_comparison(result)
+    assert "only in baseline: only_a" in text
+    assert "overall: ok" in text
+
+
+def test_compare_dirs_requires_traces(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    full = tmp_path / "full"
+    write_run(full, "r", [(1.0, 1.0)])
+    with pytest.raises(ConfigError):
+        compare_dirs(empty, full)
+
+
+def test_default_thresholds_cover_core_metrics():
+    for name in ("cycles", "events_per_sec", "mean_partition_gap",
+                 "mean_delivered_gbps", "mean_loss_gbps"):
+        assert name in DEFAULT_THRESHOLDS
