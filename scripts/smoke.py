@@ -12,6 +12,7 @@ counters, channel utilization, DAP decisions) and a run manifest:
 """
 
 import argparse
+import os
 import time
 
 from repro.experiments.cellcache import CellCache, default_cache_dir
@@ -21,7 +22,8 @@ from repro.obs.bench import build_bench_record, write_bench
 from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
 from repro.workloads.mixes import rate_mix
 
-DEFAULT_TRACE_DIR = ".repro-traces/smoke"
+# All smoke artifacts default under here; .gitignore covers it.
+DEFAULT_OUT_DIR = "results_smoke"
 
 POLICIES = ("baseline", "dap")
 DEFAULT_WORKLOADS = ["mcf", "libquantum", "omnetpp", "gcc.expr",
@@ -49,17 +51,21 @@ def main(argv=None):
                         help="stream JSONL telemetry traces + manifests")
     parser.add_argument("--probe-interval", type=int, metavar="CYCLES",
                         default=DEFAULT_PROBE_INTERVAL)
-    parser.add_argument("--trace-dir", default=DEFAULT_TRACE_DIR,
-                        metavar="DIR")
+    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR, metavar="DIR",
+                        help="artifact root for traces (gitignored default)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="JSONL trace directory "
+                             "(default: OUT_DIR/traces)")
     parser.add_argument("--bench", default=None, metavar="FILE",
                         help="write a BENCH performance-trajectory record")
     args = parser.parse_args(argv)
+    trace_dir = args.trace_dir or os.path.join(args.out_dir, "traces")
 
     scale = get_scale()
     cache = None if args.no_cache else CellCache(
         args.cache_dir or default_cache_dir())
     telemetry = (TelemetryConfig(probe_interval=args.probe_interval,
-                                 trace_dir=args.trace_dir)
+                                 trace_dir=trace_dir)
                  if args.trace else None)
 
     cells = [
@@ -91,8 +97,8 @@ def main(argv=None):
     if stats.profile:
         print(stats.profile_summary())
     if args.trace and stats.executed:
-        print(f"[traces written under {args.trace_dir} — inspect with "
-              f"'repro-analyze report {args.trace_dir}']")
+        print(f"[traces written under {trace_dir} — inspect with "
+              f"'repro-analyze report {trace_dir}']")
     if args.bench:
         record = build_bench_record(
             run_id=f"smoke:{'+'.join(args.workloads)}@{scale.name}",

@@ -57,9 +57,9 @@ class DirtyBitCache:
     def fill_group(self, set_index: int, dirty_mask: int) -> None:
         """Install a group's bits (after reconstructing from the array)."""
         group = self.group_of(set_index)
-        eviction = self._cache.fill(group)
+        eviction = self._cache.fill_pair(group)
         if eviction is not None:
-            self._bits.pop(eviction.line, None)
+            self._bits.pop(eviction[0], None)
         self._bits[group] = dirty_mask
 
     def set_dirty(self, set_index: int, dirty: bool) -> None:

@@ -23,6 +23,8 @@ class LRUPolicy:
 
     name = "lru"
 
+    __slots__ = ("_clock",)
+
     def __init__(self) -> None:
         self._clock = 0
 
@@ -40,6 +42,15 @@ class LRUPolicy:
                 victim, best = idx, way.stamp
         return victim
 
+    def select_victim_key(self, ways):
+        """Victim key for a mapping of key -> way (same tie-breaking as
+        :meth:`select_victim` over the mapping's insertion order)."""
+        victim, best = None, None
+        for key, way in ways.items():
+            if best is None or way.stamp < best:
+                victim, best = key, way.stamp
+        return victim
+
 
 class NRUPolicy:
     """Single-bit not-recently-used, as the paper's DRAM cache uses.
@@ -50,6 +61,8 @@ class NRUPolicy:
     """
 
     name = "nru"
+
+    __slots__ = ()
 
     def on_access(self, way: Way) -> None:
         way.stamp = 1
@@ -65,6 +78,19 @@ class NRUPolicy:
         for way in ways:
             way.stamp = 0
         return 0
+
+    def select_victim_key(self, ways):
+        """Victim key for a mapping of key -> way (same semantics as
+        :meth:`select_victim` over the mapping's insertion order)."""
+        first = None
+        for key, way in ways.items():
+            if way.stamp == 0:
+                return key
+            if first is None:
+                first = key
+        for way in ways.values():
+            way.stamp = 0
+        return first
 
     @staticmethod
     def normalize(ways: Sequence[Way], accessed_idx: int) -> None:

@@ -7,6 +7,17 @@ blocks are fetched on demand, so each sector carries valid/dirty bitmasks.
 
 Supports BATMAN-style set disabling: a disabled set rejects lookups and
 fills; disabling returns the dirty blocks that must be flushed.
+
+Hot-path notes
+--------------
+``read``/``write``/``fill_block`` run per L3 miss; each set is an
+insertion-ordered dict keyed by sector id, so residency is one hash
+probe and the order-sensitive NRU victim walk sees the same insertion
+order the former way-list had. :meth:`find_sector` exposes the lookup so callers
+that need several block operations on the same sector can resolve it
+once. A disabled set never holds sectors (``disable_set`` pops it and
+``allocate_sector`` refuses it), so the scan paths need no disabled
+check — absence already reads as a sector miss.
 """
 
 from __future__ import annotations
@@ -49,6 +60,25 @@ class SectorEviction:
 class SectoredCacheArray:
     """Functional sectored cache state, keyed by 64-byte line address."""
 
+    __slots__ = (
+        "name",
+        "assoc",
+        "blocks_per_sector",
+        "num_sets",
+        "_sets",
+        "_policy",
+        "_on_access",
+        "_on_fill",
+        "_select_victim",
+        "_disabled",
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "sector_evictions",
+        "sector_allocations",
+    )
+
     def __init__(
         self,
         name: str,
@@ -66,8 +96,12 @@ class SectoredCacheArray:
         self.assoc = assoc
         self.blocks_per_sector = sector_bytes // line_bytes
         self.num_sets = capacity_bytes // (assoc * sector_bytes)
-        self._sets: dict[int, list[_Sector]] = {}
+        # set index -> {sector id: _Sector}, insertion-ordered per set.
+        self._sets: dict[int, dict[int, _Sector]] = {}
         self._policy = make_policy(policy)
+        self._on_access = self._policy.on_access
+        self._on_fill = self._policy.on_fill
+        self._select_victim = self._policy.select_victim_key
         self._disabled: set[int] = set()
 
         self.read_hits = 0
@@ -89,14 +123,20 @@ class SectoredCacheArray:
     def _set_index(self, sector_id: int) -> int:
         return sector_id % self.num_sets
 
+    def find_sector(self, line: int) -> Optional[_Sector]:
+        """Resolve the resident sector holding ``line`` in one scan.
+
+        Callers performing several block operations on the same sector
+        (e.g. warm-up install, resolve-time dirty checks) should resolve
+        once and use the block-level bitmask directly.
+        """
+        sector_id = line // self.blocks_per_sector
+        ways = self._sets.get(sector_id % self.num_sets)
+        return ways.get(sector_id) if ways is not None else None
+
     def _find(self, sector_id: int) -> Optional[_Sector]:
-        ways = self._sets.get(self._set_index(sector_id))
-        if not ways:
-            return None
-        for sector in ways:
-            if sector.tag == sector_id:
-                return sector
-        return None
+        ways = self._sets.get(sector_id % self.num_sets)
+        return ways.get(sector_id) if ways is not None else None
 
     def _lines_of(self, sector: _Sector, mask: int) -> list[int]:
         base = sector.tag * self.blocks_per_sector
@@ -107,32 +147,34 @@ class SectoredCacheArray:
     # ------------------------------------------------------------------
     def probe(self, line: int) -> SectorProbe:
         """Classify an access without updating state or stats."""
-        sector_id = self.sector_of(line)
-        if self._set_index(sector_id) in self._disabled:
-            return SectorProbe.SECTOR_MISS
-        sector = self._find(sector_id)
+        sector = self.find_sector(line)
         if sector is None:
             return SectorProbe.SECTOR_MISS
-        if sector.valid & (1 << self.block_of(line)):
+        if sector.valid & (1 << (line % self.blocks_per_sector)):
             return SectorProbe.HIT
         return SectorProbe.BLOCK_MISS
 
     def is_block_dirty(self, line: int) -> bool:
-        sector = self._find(self.sector_of(line))
-        return bool(sector and sector.dirty & (1 << self.block_of(line)))
+        sector = self.find_sector(line)
+        return bool(sector and sector.dirty & (1 << (line % self.blocks_per_sector)))
 
     def read(self, line: int) -> SectorProbe:
         """Demand read: updates recency/footprint and hit/miss stats."""
-        result = self.probe(line)
-        sector = self._find(self.sector_of(line))
+        bps = self.blocks_per_sector
+        sector_id = line // bps
+        ways = self._sets.get(sector_id % self.num_sets)
+        sector = ways.get(sector_id) if ways is not None else None
         if sector is not None:
-            self._policy.on_access(sector)
-            sector.touched |= 1 << self.block_of(line)
-        if result is SectorProbe.HIT:
-            self.read_hits += 1
-        else:
+            bit = 1 << (line % bps)
+            self._on_access(sector)
+            sector.touched |= bit
+            if sector.valid & bit:
+                self.read_hits += 1
+                return SectorProbe.HIT
             self.read_misses += 1
-        return result
+            return SectorProbe.BLOCK_MISS
+        self.read_misses += 1
+        return SectorProbe.SECTOR_MISS
 
     def write(self, line: int) -> SectorProbe:
         """Demand write (dirty L3 eviction landing in this cache).
@@ -141,19 +183,50 @@ class SectoredCacheArray:
         valid+dirty (a full 64-byte write needs no fill). On a sector miss
         the caller decides whether to allocate.
         """
-        result = self.probe(line)
-        sector = self._find(self.sector_of(line))
+        bps = self.blocks_per_sector
+        sector_id = line // bps
+        ways = self._sets.get(sector_id % self.num_sets)
+        sector = ways.get(sector_id) if ways is not None else None
         if sector is not None:
-            bit = 1 << self.block_of(line)
+            bit = 1 << (line % bps)
+            was_valid = sector.valid & bit
             sector.valid |= bit
             sector.dirty |= bit
             sector.touched |= bit
-            self._policy.on_access(sector)
-        if result is SectorProbe.HIT:
+            self._on_access(sector)
+            if was_valid:
+                self.write_hits += 1
+                return SectorProbe.HIT
+            self.write_misses += 1
+            return SectorProbe.BLOCK_MISS
+        self.write_misses += 1
+        return SectorProbe.SECTOR_MISS
+
+    def read_resolved(self, sector: Optional[_Sector], bit: int) -> None:
+        """Demand-read accounting for a sector resolved via
+        :meth:`find_sector` (same state transition as :meth:`read`,
+        minus the redundant scan)."""
+        if sector is None:
+            self.read_misses += 1
+            return
+        self._on_access(sector)
+        sector.touched |= bit
+        if sector.valid & bit:
+            self.read_hits += 1
+        else:
+            self.read_misses += 1
+
+    def write_resolved(self, sector: _Sector, bit: int) -> None:
+        """Demand-write state update for a resident, resolved sector
+        (same transition as :meth:`write` on a resident sector)."""
+        if sector.valid & bit:
             self.write_hits += 1
         else:
             self.write_misses += 1
-        return result
+        sector.valid |= bit
+        sector.dirty |= bit
+        sector.touched |= bit
+        self._on_access(sector)
 
     def fill_block(self, line: int, dirty: bool = False) -> bool:
         """Install a block into a resident sector (read-miss fill).
@@ -161,10 +234,10 @@ class SectoredCacheArray:
         Returns False when the sector is absent (fill dropped — e.g. the
         sector lost the allocation race or was bypassed).
         """
-        sector = self._find(self.sector_of(line))
+        sector = self.find_sector(line)
         if sector is None:
             return False
-        bit = 1 << self.block_of(line)
+        bit = 1 << (line % self.blocks_per_sector)
         sector.valid |= bit
         if dirty:
             sector.dirty |= bit
@@ -179,37 +252,38 @@ class SectoredCacheArray:
         No-op (returns None) if the sector is already resident or its set
         is disabled.
         """
-        sector_id = self.sector_of(line)
-        idx = self._set_index(sector_id)
+        sector_id = line // self.blocks_per_sector
+        idx = sector_id % self.num_sets
         if idx in self._disabled:
             return None
-        ways = self._sets.setdefault(idx, [])
-        if any(s.tag == sector_id for s in ways):
+        ways = self._sets.get(idx)
+        if ways is None:
+            ways = self._sets[idx] = {}
+        elif sector_id in ways:
             return None
         eviction: Optional[SectorEviction] = None
         if len(ways) >= self.assoc:
-            vidx = self._policy.select_victim(ways)
-            victim = ways[vidx]
+            vtag = self._select_victim(ways)
+            victim = ways.pop(vtag)
             eviction = SectorEviction(
                 sector_id=victim.tag,
                 dirty_lines=self._lines_of(victim, victim.dirty),
                 valid_blocks=bin(victim.valid).count("1"),
                 touched_mask=victim.touched,
             )
-            del ways[vidx]
             self.sector_evictions += 1
         sector = _Sector(sector_id)
-        self._policy.on_fill(sector)
-        ways.append(sector)
+        self._on_fill(sector)
+        ways[sector_id] = sector
         self.sector_allocations += 1
         return eviction
 
     def invalidate_block(self, line: int) -> bool:
         """Invalidate a single block; returns whether it was dirty."""
-        sector = self._find(self.sector_of(line))
+        sector = self.find_sector(line)
         if sector is None:
             return False
-        bit = 1 << self.block_of(line)
+        bit = 1 << (line % self.blocks_per_sector)
         was_dirty = bool(sector.dirty & bit)
         sector.valid &= ~bit
         sector.dirty &= ~bit
@@ -217,9 +291,9 @@ class SectoredCacheArray:
 
     def clean_block(self, line: int) -> None:
         """Clear the dirty bit of a block (after write-through)."""
-        sector = self._find(self.sector_of(line))
+        sector = self.find_sector(line)
         if sector is not None:
-            sector.dirty &= ~(1 << self.block_of(line))
+            sector.dirty &= ~(1 << (line % self.blocks_per_sector))
 
     # ------------------------------------------------------------------
     # Set disabling (BATMAN substrate)
@@ -230,7 +304,7 @@ class SectoredCacheArray:
             return []
         self._disabled.add(set_index)
         dirty: list[int] = []
-        for sector in self._sets.pop(set_index, []):
+        for sector in self._sets.pop(set_index, {}).values():
             dirty.extend(self._lines_of(sector, sector.dirty))
         return dirty
 
@@ -261,7 +335,7 @@ class SectoredCacheArray:
         return self.read_hits / self.reads if self.reads else 0.0
 
     def sector_present(self, line: int) -> bool:
-        return self._find(self.sector_of(line)) is not None
+        return self.find_sector(line) is not None
 
     def resident_sectors(self) -> int:
         return sum(len(ways) for ways in self._sets.values())

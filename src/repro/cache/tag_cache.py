@@ -45,8 +45,8 @@ class TagCache:
         to the DRAM array is required when True), or None if nothing was
         evicted.
         """
-        eviction = self._cache.fill(sector_id)
-        return None if eviction is None else eviction.dirty
+        eviction = self._cache.fill_pair(sector_id)
+        return None if eviction is None else eviction[1]
 
     def mark_dirty(self, sector_id: int) -> None:
         """Record that the cached metadata diverged from the DRAM copy."""

@@ -9,6 +9,12 @@ from explicitly seeded generators).
 Time is measured in integer CPU cycles. Components schedule callbacks
 either at an absolute cycle (:meth:`Simulator.at`) or after a delay
 (:meth:`Simulator.schedule`).
+
+The dispatch loop is the innermost loop of every simulation, so it is
+written allocation-free: heap primitives and queue references are bound
+to locals, the common ``run()`` (no ``until``, no ``max_events``) takes
+a fast path with no per-event bound checks, and the lifetime event
+counter is updated once per ``run`` call rather than per event.
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ from typing import Callable, Optional
 from repro.errors import SimulationError
 
 Callback = Callable[[], None]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Simulator:
@@ -34,6 +43,8 @@ class Simulator:
     [10]
     """
 
+    __slots__ = ("now", "_queue", "_seq", "_events_dispatched", "_running")
+
     def __init__(self) -> None:
         self.now: int = 0
         self._queue: list[tuple[int, int, Callback]] = []
@@ -48,7 +59,12 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.at(self.now + delay, callback)
+        # Fast path for the dominant "fire once at now+delta" pattern:
+        # push directly instead of routing through :meth:`at`'s
+        # can-never-fail bounds check.
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self.now + int(delay), seq, callback))
 
     def at(self, time: int, callback: Callback) -> None:
         """Schedule ``callback`` at absolute cycle ``time``."""
@@ -56,41 +72,65 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at cycle {time}, current cycle is {self.now}"
             )
-        heapq.heappush(self._queue, (int(time), self._seq, callback))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (int(time), seq, callback))
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Dispatch events in time order.
+        """Dispatch events in time order; returns the events dispatched.
 
-        Stops when the queue is empty, when the next event lies beyond
-        ``until`` (the clock is then advanced to ``until``), or after
-        ``max_events`` dispatches. Returns the number of events dispatched
-        by this call.
+        Stopping conditions, and the clock contract for each:
+
+        - **Queue empty** — every event has fired. ``now`` rests at the
+          last dispatched event's cycle, except that with ``until`` set
+          the clock is then advanced to ``until`` (an idle simulator
+          still "waits out" the requested horizon).
+        - **``until`` reached** — the next event lies strictly beyond
+          ``until``. The event stays queued and ``now`` is advanced to
+          exactly ``until``.
+        - **``max_events`` dispatched** — the dispatch budget ran out.
+          ``now`` stays at the cycle of the last dispatched event and is
+          **not** advanced to ``until``, even when both limits are given:
+          the simulation is paused mid-timeline, and a later ``run`` call
+          must be able to resume with the remaining events still in the
+          future. Callers that want the clock at ``until`` regardless
+          should keep calling ``run(until=...)`` until it returns 0.
         """
+        queue = self._queue
+        pop = _heappop
         dispatched = 0
         self._running = True
         try:
-            while self._queue:
-                time, _seq, callback = self._queue[0]
+            if until is None and max_events is None:
+                # Fast path: drain the queue with no per-event bound
+                # checks (the overwhelmingly common full-run case).
+                while queue:
+                    time, _seq, callback = pop(queue)
+                    self.now = time
+                    callback()
+                    dispatched += 1
+                return dispatched
+            while queue:
+                time = queue[0][0]
                 if until is not None and time > until:
                     self.now = until
                     break
                 if max_events is not None and dispatched >= max_events:
                     break
-                heapq.heappop(self._queue)
+                callback = pop(queue)[2]
                 self.now = time
                 callback()
                 dispatched += 1
-                self._events_dispatched += 1
             else:
                 if until is not None and until > self.now:
                     self.now = until
+            return dispatched
         finally:
+            self._events_dispatched += dispatched
             self._running = False
-        return dispatched
 
     def step(self) -> bool:
         """Dispatch a single event; return False if the queue is empty."""
@@ -106,7 +146,11 @@ class Simulator:
 
     @property
     def events_dispatched(self) -> int:
-        """Total events dispatched over the simulator's lifetime."""
+        """Total events dispatched over the simulator's lifetime.
+
+        Updated when a ``run`` call returns (batched for speed), so the
+        count is not visible to callbacks firing *within* a run.
+        """
         return self._events_dispatched
 
     def peek_time(self) -> Optional[int]:

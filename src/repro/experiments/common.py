@@ -118,20 +118,21 @@ def scaled_config(scale: Scale, policy: str = "baseline",
     )
 
 
+# Traces at most this many total references are materialized to lists
+# before the run (about 100 MB at the limit); larger ones stream.
+_MATERIALIZE_REFS_LIMIT = 1_000_000
+
+
 def warm_system(system, mix: Mix, scale: Scale) -> int:
     """Pre-install the mix's warm set in the memory-side cache."""
-    warmed = 0
-    warm = system.msc.warm_line
-    for line, dirty in mix.warm_sets(scale.footprint_scale):
-        warm(line, dirty)
-        warmed += 1
-    return warmed
+    return system.msc.warm_many(mix.warm_sets(scale.footprint_scale))
 
 
 def run_mix(mix: Mix, config: SystemConfig, scale: Scale,
             warm: bool = True,
             telemetry: Optional[TelemetryConfig] = None,
-            label: Optional[str] = None) -> RunResult:
+            label: Optional[str] = None,
+            system_out: Optional[list] = None) -> RunResult:
     """Build, warm, and run one mix on one configuration.
 
     Every run attaches a provenance manifest (config, policy, git SHA,
@@ -146,7 +147,18 @@ def run_mix(mix: Mix, config: SystemConfig, scale: Scale,
         config = replace(config, num_cores=mix.num_cores)
     traces = mix.traces(refs_per_core=scale.refs_per_core,
                         scale=scale.footprint_scale)
+    if scale.refs_per_core * mix.num_cores <= _MATERIALIZE_REFS_LIMIT:
+        # Materialize bounded traces at build time. The reference stream
+        # is identical (each generator owns its Random), but the
+        # synthesis work leaves the run loop and the cores consume a
+        # C-speed list iterator instead of resuming a generator frame
+        # per instruction. Unbounded (paper-scale) traces keep streaming
+        # to cap memory.
+        traces = [iter(list(t)) for t in traces]
     system = build_system(config, traces)
+    if system_out is not None:
+        # Determinism harnesses fingerprint per-channel state post-run.
+        system_out.append(system)
     if warm:
         warm_system(system, mix, scale)
 

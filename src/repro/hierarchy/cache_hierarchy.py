@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.cache.sram_cache import SRAMCache
+from repro.cache.sram_cache import _ABSENT, SRAMCache
 from repro.engine.event_queue import Simulator
 from repro.hierarchy.msc_base import MscController
 from repro.mem.request import AccessKind
@@ -103,6 +103,12 @@ class CacheHierarchy:
             for i in range(num_cores)
         ]
         self.l3 = SRAMCache("l3", levels.l3_bytes, levels.l3_assoc)
+        # _access inlines the LRU branch of SRAMCache.lookup.
+        assert self.l3._lru and all(c._lru for c in self.l1 + self.l2)
+        # Hot-path copies of the (frozen-dataclass) level latencies.
+        self._l1_lat = levels.l1_latency
+        self._l2_lat = levels.l2_latency
+        self._l3_lat = levels.l3_latency
         self.prefetchers = (
             [StridePrefetcher() for _ in range(num_cores)] if enable_prefetch else None
         )
@@ -131,19 +137,85 @@ class CacheHierarchy:
 
     def _access(self, core_id: int, line: int, dirty: bool,
                 on_fill: Optional[FillCallback]) -> Optional[int]:
-        lv = self.levels
-        if self.l1[core_id].lookup(line, is_write=dirty):
-            return lv.l1_latency
-        if self.l2[core_id].lookup(line):
-            self._fill_l1(core_id, line, dirty)
-            return lv.l2_latency
+        # Runs once per memory instruction. The three SRAM lookups and
+        # the L1/L2 fill cascades are inlined — byte-for-byte the LRU
+        # branch of SRAMCache.lookup/fill_pair — so the common SRAM
+        # paths cost no extra Python frames. The fills also skip
+        # fill_pair's refresh check and reuse the set dict resolved at
+        # lookup: the filled line provably just missed that same set,
+        # and nothing between lookup and fill touches the array (the
+        # cascades only go downward). (The hierarchy always builds LRU
+        # arrays; __init__ asserts it.)
+        l1 = self.l1[core_id]
+        sets1 = l1._sets
+        idx1 = line % l1.num_sets
+        ways1 = sets1.get(idx1)
+        entry = _ABSENT if ways1 is None else ways1.get(line, _ABSENT)
+        if entry is not _ABSENT:
+            l1.hits += 1
+            del ways1[line]
+            ways1[line] = True if dirty else entry
+            return self._l1_lat
+        l1.misses += 1
+        l2 = self.l2[core_id]
+        sets2 = l2._sets
+        idx2 = line % l2.num_sets
+        ways2 = sets2.get(idx2)
+        entry = _ABSENT if ways2 is None else ways2.get(line, _ABSENT)
+        if entry is not _ABSENT:
+            l2.hits += 1
+            del ways2[line]
+            ways2[line] = entry
+            # Fill L1; a dirty victim folds into L2.
+            vdirty = False
+            if ways1 is None:
+                ways1 = sets1[idx1] = {}
+            elif len(ways1) >= l1.assoc:
+                vtag = next(iter(ways1))
+                vdirty = ways1.pop(vtag)
+                l1.evictions += 1
+            ways1[line] = dirty
+            if vdirty:
+                l2.fill_pair(vtag, True)
+            return self._l2_lat
+        l2.misses += 1
         # L2 miss: train the prefetcher on the miss stream.
-        self._train_prefetch(core_id, line)
+        if self.prefetchers is not None:
+            self._train_prefetch(core_id, line)
         self.l3_demand_accesses[core_id] += 1
-        if self.l3.lookup(line):
-            self._fill_l2(core_id, line)
-            self._fill_l1(core_id, line, dirty)
-            return lv.l3_latency
+        l3 = self.l3
+        ways = l3._sets.get(line % l3.num_sets)
+        entry = _ABSENT if ways is None else ways.get(line, _ABSENT)
+        if entry is not _ABSENT:
+            l3.hits += 1
+            del ways[line]
+            ways[line] = entry
+            # Fill L2 (clean); a dirty victim cascades into L3.
+            vdirty = False
+            if ways2 is None:
+                ways2 = sets2[idx2] = {}
+            elif len(ways2) >= l2.assoc:
+                vtag = next(iter(ways2))
+                vdirty = ways2.pop(vtag)
+                l2.evictions += 1
+            ways2[line] = False
+            if vdirty:
+                ev3 = l3.fill_pair(vtag, True)
+                if ev3 is not None and ev3[1]:
+                    self.msc.write(ev3[0], core_id)
+            # Fill L1; a dirty victim folds into L2.
+            vdirty = False
+            if ways1 is None:
+                ways1 = sets1[idx1] = {}
+            elif len(ways1) >= l1.assoc:
+                vtag = next(iter(ways1))
+                vdirty = ways1.pop(vtag)
+                l1.evictions += 1
+            ways1[line] = dirty
+            if vdirty:
+                l2.fill_pair(vtag, True)
+            return self._l3_lat
+        l3.misses += 1
         # L3 miss.
         self.l3_demand_misses[core_id] += 1
         self._request_line(core_id, line, dirty, on_fill)
@@ -167,11 +239,20 @@ class CacheHierarchy:
     def _line_arrived(self, line: int, finish: int) -> None:
         waiters = self._inflight.pop(line, [])
         any_dirty = any(d for _, d, _ in waiters)
-        self._fill_l3(line, dirty=any_dirty)
+        ev3 = self.l3.fill_pair(line, any_dirty)
+        if ev3 is not None and ev3[1]:
+            self.msc.write(ev3[0], core_id=-1)
         for core_id, dirty, callback in waiters:
             if core_id >= 0:
-                self._fill_l2(core_id, line)
-                self._fill_l1(core_id, line, dirty)
+                # Same transitions as _fill_l2 then _fill_l1, inlined.
+                ev2 = self.l2[core_id].fill_pair(line)
+                if ev2 is not None and ev2[1]:
+                    ev3 = self.l3.fill_pair(ev2[0], True)
+                    if ev3 is not None and ev3[1]:
+                        self.msc.write(ev3[0], core_id)
+                ev1 = self.l1[core_id].fill_pair(line, dirty)
+                if ev1 is not None and ev1[1]:
+                    self.l2[core_id].fill_pair(ev1[0], True)
             if callback is not None:
                 callback(finish)
 
@@ -179,28 +260,26 @@ class CacheHierarchy:
     # Fill plumbing with dirty-writeback cascades
     # ------------------------------------------------------------------
     def _fill_l1(self, core_id: int, line: int, dirty: bool) -> None:
-        evicted = self.l1[core_id].fill(line, dirty=dirty)
-        if evicted is not None and evicted.dirty:
-            self.l2[core_id].fill(evicted.line, dirty=True)
+        evicted = self.l1[core_id].fill_pair(line, dirty)
+        if evicted is not None and evicted[1]:
+            self.l2[core_id].fill_pair(evicted[0], True)
 
     def _fill_l2(self, core_id: int, line: int) -> None:
-        evicted = self.l2[core_id].fill(line)
-        if evicted is not None and evicted.dirty:
-            ev3 = self.l3.fill(evicted.line, dirty=True)
-            if ev3 is not None and ev3.dirty:
-                self.msc.write(ev3.line, core_id)
+        evicted = self.l2[core_id].fill_pair(line)
+        if evicted is not None and evicted[1]:
+            ev3 = self.l3.fill_pair(evicted[0], True)
+            if ev3 is not None and ev3[1]:
+                self.msc.write(ev3[0], core_id)
 
     def _fill_l3(self, line: int, dirty: bool = False) -> None:
-        evicted = self.l3.fill(line, dirty=dirty)
-        if evicted is not None and evicted.dirty:
-            self.msc.write(evicted.line, core_id=-1)
+        evicted = self.l3.fill_pair(line, dirty)
+        if evicted is not None and evicted[1]:
+            self.msc.write(evicted[0], core_id=-1)
 
     # ------------------------------------------------------------------
     # Prefetching
     # ------------------------------------------------------------------
     def _train_prefetch(self, core_id: int, line: int) -> None:
-        if self.prefetchers is None:
-            return
         for target in self.prefetchers[core_id].observe(line):
             if self._pf_inflight[core_id] >= self.max_prefetch_inflight:
                 return

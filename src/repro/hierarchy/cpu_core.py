@@ -16,12 +16,20 @@ Loads that hit in SRAM complete at a known small latency; L3 misses
 complete when the memory-side subsystem delivers the line. The paper's
 methodology scales core buffers so streaming kernels can demand the
 combined cache+memory bandwidth; tests assert our model does the same.
+
+``_run`` executes once per memory instruction across every core, making
+it the single hottest Python frame in a simulation; it binds its loop
+state to locals and inlines the trace peek/consume bookkeeping. The
+hierarchy never invokes fill callbacks synchronously from ``load``/
+``store`` (misses complete via later simulator events), so the cached
+locals cannot go stale within one ``_run`` activation.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.engine.event_queue import Simulator
@@ -29,9 +37,35 @@ from repro.hierarchy.cache_hierarchy import CacheHierarchy
 
 TraceEntry = tuple[int, bool, int]  # (gap instructions, is_write, line)
 
+_ceil = math.ceil
+
 
 class TraceCore:
     """One simulated core executing a memory-instruction trace."""
+
+    __slots__ = (
+        "sim",
+        "core_id",
+        "hierarchy",
+        "rob_entries",
+        "width",
+        "mshrs",
+        "on_done",
+        "_trace",
+        "_pending",
+        "_exhausted",
+        "instr_count",
+        "_vtime",
+        "_inv_width",
+        "_outstanding",
+        "_misses_inflight",
+        "_wake_scheduled",
+        "done",
+        "finish_cycle",
+        "loads",
+        "stores",
+        "l3_miss_loads",
+    )
 
     def __init__(
         self,
@@ -58,6 +92,7 @@ class TraceCore:
 
         self.instr_count = 0
         self._vtime = 0.0                 # width-limited dispatch clock
+        self._inv_width = 1.0 / width
         # In-flight loads as [instr_idx, done_cycle or None], FIFO order.
         self._outstanding: deque[list] = deque()
         self._misses_inflight = 0
@@ -95,60 +130,91 @@ class TraceCore:
             return
         self._wake_scheduled = False
         now = self.sim.now
-        while True:
-            entry = self._peek()
-            if entry is None:
-                self._maybe_finish(now)
-                return
-            gap, is_write, line = entry
-            idx = self.instr_count + gap
-            t = self._vtime + gap / self.width
-
-            # ROB window: retire (or stall on) loads falling out of it.
-            window_floor = idx - self.rob_entries
-            blocked = False
-            while self._outstanding and self._outstanding[0][0] <= window_floor:
-                head = self._outstanding[0]
-                if head[1] is None:
-                    blocked = True  # stalled on an in-flight miss
-                    break
-                t = max(t, head[1])
-                self._outstanding.popleft()
-            if blocked:
-                return  # the miss's fill callback wakes us
-
-            # MSHR limit: wait for any completion.
-            if self._misses_inflight >= self.mshrs:
-                return
-
-            if t > now:
-                self._schedule_wake(math.ceil(t))
-                return
-
-            # Dispatch the memory instruction now.
-            self._consume()
-            self.instr_count = idx + 1
-            self._vtime = max(t, self._vtime) + 1.0 / self.width
-
-            if is_write:
-                self.stores += 1
-                lat = self.hierarchy.store(self.core_id, line,
-                                           on_fill=self._store_fill)
-                if lat is None:
-                    self._misses_inflight += 1
-            else:
-                self.loads += 1
-                record = [idx, None]
-                lat = self.hierarchy.load(
-                    self.core_id, line,
-                    on_fill=lambda finish, rec=record: self._load_fill(rec, finish),
-                )
-                if lat is None:
-                    self.l3_miss_loads += 1
-                    self._misses_inflight += 1
+        # Loop state bound to locals; flushed back on every exit path.
+        trace_next = self._trace.__next__
+        pending = self._pending
+        outstanding = self._outstanding
+        rob_entries = self.rob_entries
+        width = self.width
+        inv_width = self._inv_width
+        mshrs = self.mshrs
+        # _access is the load/store wrappers' shared body; calling it
+        # directly saves one frame per memory instruction.
+        h_access = self.hierarchy._access
+        core_id = self.core_id
+        load_fill = self._load_fill
+        instr_count = self.instr_count
+        vtime = self._vtime
+        try:
+            while True:
+                if pending is None:
+                    if self._exhausted:
+                        entry = None
+                    else:
+                        try:
+                            entry = trace_next()
+                        except StopIteration:
+                            entry = None
+                            self._exhausted = True
+                        pending = entry
                 else:
-                    record[1] = now + lat
-                self._outstanding.append(record)
+                    entry = pending
+                if entry is None:
+                    # Flush locals first: _maybe_finish reads _vtime.
+                    self._pending = pending
+                    self.instr_count = instr_count
+                    self._vtime = vtime
+                    self._maybe_finish(now)
+                    return
+                gap, is_write, line = entry
+                idx = instr_count + gap
+                t = vtime + gap / width
+
+                # ROB window: retire (or stall on) loads falling out of it.
+                window_floor = idx - rob_entries
+                while outstanding and outstanding[0][0] <= window_floor:
+                    head_done = outstanding[0][1]
+                    if head_done is None:
+                        return  # the miss's fill callback wakes us
+                    if head_done > t:
+                        t = head_done
+                    outstanding.popleft()
+
+                # MSHR limit: wait for any completion.
+                if self._misses_inflight >= mshrs:
+                    return
+
+                if t > now:
+                    self._schedule_wake(_ceil(t))
+                    return
+
+                # Dispatch the memory instruction now.
+                pending = None
+                instr_count = idx + 1
+                vtime = (t if t > vtime else vtime) + inv_width
+
+                if is_write:
+                    self.stores += 1
+                    lat = h_access(core_id, line, True, self._store_fill)
+                    if lat is None:
+                        self._misses_inflight += 1
+                else:
+                    self.loads += 1
+                    record = [idx, None]
+                    lat = h_access(
+                        core_id, line, False,
+                        lambda finish, rec=record: load_fill(rec, finish),
+                    )
+                    if lat is None:
+                        self.l3_miss_loads += 1
+                        self._misses_inflight += 1
+                    else:
+                        record[1] = now + lat
+                    outstanding.append(record)
+        finally:
+            self._pending = pending
+            self.instr_count = instr_count
+            self._vtime = vtime
 
     # ------------------------------------------------------------------
     def _load_fill(self, record: list, finish: int) -> None:
@@ -164,7 +230,11 @@ class TraceCore:
         if self._wake_scheduled or self.done:
             return
         self._wake_scheduled = True
-        self.sim.at(max(when, self.sim.now), self._run)
+        sim = self.sim
+        now = sim.now
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._queue, (when if when > now else now, seq, self._run))
 
     # ------------------------------------------------------------------
     def _maybe_finish(self, now: int) -> None:

@@ -74,10 +74,57 @@ class SectoredMscController(MscController):
     # ------------------------------------------------------------------
     def warm_line(self, line: int, dirty: bool = False) -> None:
         """Install a block without generating DRAM traffic (warmup)."""
-        if not self.array.sector_present(line):
-            self.array.allocate_sector(line)
-        if self.array.sector_present(line):
-            self.array.fill_block(line, dirty=dirty)
+        array = self.array
+        sector = array.find_sector(line)
+        if sector is None:
+            array.allocate_sector(line)
+            sector = array.find_sector(line)
+            if sector is None:  # disabled set: install refused
+                return
+        bit = 1 << (line % array.blocks_per_sector)
+        sector.valid |= bit
+        if dirty:
+            sector.dirty |= bit
+
+    def warm_many(self, lines) -> int:
+        """Batched :meth:`warm_line`: the warm set enumerates regions in
+        address order and never revisits a sector once past it, so
+        consecutive same-sector lines reuse one resolution (and any
+        eviction happens at a sector boundary, before the re-resolve)."""
+        array = self.array
+        bps = array.blocks_per_sector
+        find = array.find_sector
+        allocate = array.allocate_sector
+        cached_sid = -1
+        sector = None
+        count = 0
+        for line, dirty in lines:
+            count += 1
+            sid = line // bps
+            if sid != cached_sid:
+                sector = find(line)
+                if sector is None:
+                    allocate(line)
+                    sector = find(line)  # None when the set is disabled
+                cached_sid = sid
+            if sector is None:
+                continue
+            bit = 1 << (line % bps)
+            sector.valid |= bit
+            if dirty:
+                sector.dirty |= bit
+        return count
+
+    def _resolve(self, line: int):
+        """One-scan (sector, bit, probe, dirty) resolution for ``line``."""
+        array = self.array
+        sector = array.find_sector(line)
+        bit = 1 << (line % array.blocks_per_sector)
+        if sector is None:
+            return None, bit, SectorProbe.SECTOR_MISS, False
+        if sector.valid & bit:
+            return sector, bit, SectorProbe.HIT, bool(sector.dirty & bit)
+        return sector, bit, SectorProbe.BLOCK_MISS, False
 
     # ------------------------------------------------------------------
     # Demand read (L3 miss)
@@ -165,15 +212,14 @@ class SectoredMscController(MscController):
                 self._write_metadata(line)
         self._release_meta_waiters(line)
         sfrm_active = race.issued
-        probe = self.array.probe(line)
-        dirty_hit = probe is SectorProbe.HIT and self.array.is_block_dirty(line)
+        sector, bit, probe, dirty_hit = self._resolve(line)
 
         if sfrm_active and not dirty_hit:
             # Clean hit or miss: the speculative MM response is the data.
             race.resolved = True
             race.use_mm = True
             self.served_misses += 1  # served by MM: a forced miss
-            self._account_read_demand(line, probe)
+            self._account_read_demand(sector, bit, probe, dirty_hit)
             if probe is not SectorProbe.HIT:
                 self._handle_fill(line, probe)
             if race.mm_finish is not None and not race.delivered:
@@ -188,12 +234,13 @@ class SectoredMscController(MscController):
         self._read_resolved(line, core_id, callback, issue)
 
     # ------------------------------------------------------------------
-    def _account_read_demand(self, line: int, probe: SectorProbe) -> None:
+    def _account_read_demand(self, sector, bit: int, probe: SectorProbe,
+                             dirty: bool) -> None:
         """Record pre-decision demand and update functional state."""
-        self.array.read(line)
+        self.array.read_resolved(sector, bit)
         if probe is SectorProbe.HIT:
             self.policy.note_ms_access()  # the hit's data read
-            if not self.array.is_block_dirty(line):
+            if not dirty:
                 self.policy.note_clean_hit()
         else:
             self.policy.note_read_miss()
@@ -205,9 +252,8 @@ class SectoredMscController(MscController):
     ) -> None:
         """Tag state is known: serve the read."""
         now = self.sim.now
-        probe = self.array.probe(line)
-        dirty = probe is SectorProbe.HIT and self.array.is_block_dirty(line)
-        self._account_read_demand(line, probe)
+        sector, bit, probe, dirty = self._resolve(line)
+        self._account_read_demand(sector, bit, probe, dirty)
 
         if probe is SectorProbe.HIT:
             steer = not dirty and (
@@ -307,21 +353,23 @@ class SectoredMscController(MscController):
                 self._write_metadata(line)
         self.policy.note_write()
         self.policy.note_ms_access()  # the write demand on the MS$
+        sector, bit, probe, _dirty = self._resolve(line)
 
         if self.policy.bypass_write(now, line):
             self.stats.wb_applied += 1
             self.served_misses += 1
-            if self.array.probe(line) is SectorProbe.HIT:
-                self.array.invalidate_block(line)
+            if probe is SectorProbe.HIT:
+                sector.valid &= ~bit
+                sector.dirty &= ~bit
                 self._mark_meta_dirty(line)
             self.mm_dev.enqueue(Request(line=line, kind=AccessKind.WRITEBACK))
             return
 
-        if self.array.probe(line) is SectorProbe.HIT:
+        if probe is SectorProbe.HIT:
             self.served_hits += 1
         else:
             self.served_misses += 1
-        self._install_block(line, dirty=True)
+        self._install_block(line, dirty=True, sector=sector, bit=bit)
         if self.policy.write_through(now, line):
             self.stats.write_throughs += 1
             self.array.clean_block(line)
@@ -330,21 +378,33 @@ class SectoredMscController(MscController):
     # ------------------------------------------------------------------
     # Fills, allocation, eviction maintenance
     # ------------------------------------------------------------------
-    def _install_block(self, line: int, dirty: bool) -> None:
-        """Write a block into the cache, allocating its sector if needed."""
-        if not self.array.sector_present(line):
+    def _install_block(self, line: int, dirty: bool,
+                       sector=None, bit: Optional[int] = None) -> None:
+        """Write a block into the cache, allocating its sector if needed.
+
+        Callers that already resolved the sector (via :meth:`_resolve`)
+        pass ``sector``/``bit`` to skip the repeat scan.
+        """
+        array = self.array
+        if bit is None:
+            bit = 1 << (line % array.blocks_per_sector)
+            sector = array.find_sector(line)
+        if sector is None:
             self._allocate_sector(line)
-        if not self.array.sector_present(line):
-            # Allocation refused (disabled set, e.g. under BATMAN): dirty
-            # data must still reach main memory; clean fills are dropped.
-            if dirty:
-                self.mm_dev.enqueue(Request(line=line, kind=AccessKind.WRITEBACK))
-            return
+            sector = array.find_sector(line)
+            if sector is None:
+                # Allocation refused (disabled set, e.g. under BATMAN):
+                # dirty data must still reach main memory; clean fills
+                # are dropped.
+                if dirty:
+                    self.mm_dev.enqueue(
+                        Request(line=line, kind=AccessKind.WRITEBACK))
+                return
         if dirty:
-            self.array.write(line)
+            array.write_resolved(sector, bit)
             kind = AccessKind.L4_WRITE
         else:
-            self.array.fill_block(line)
+            sector.valid |= bit
             kind = AccessKind.FILL_WRITE
         self._mark_meta_dirty(line)
         self.cache_dev.enqueue(Request(line=line, kind=kind))

@@ -9,6 +9,8 @@ and exposes the raw components for metric collection.
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
@@ -192,15 +194,29 @@ class System:
         self._done += 1
 
     def run(self, max_cycles: Optional[int] = None) -> None:
-        """Run every core's trace to completion (plus queue drain)."""
+        """Run every core's trace to completion (plus queue drain).
+
+        The cyclic garbage collector is paused for the duration of the
+        event loop: the simulation allocates millions of short-lived
+        requests/events that reference counting already reclaims, so
+        generational scans are pure overhead. Purely a wall-clock
+        matter — object lifetimes and results are unchanged.
+        """
         for core in self.cores:
             core.start()
         if self.telemetry is not None:
             self.telemetry.start()
-        if max_cycles is not None:
-            self.sim.run(until=max_cycles)
-        else:
-            self.sim.run()
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if max_cycles is not None:
+                self.sim.run(until=max_cycles)
+            else:
+                self.sim.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         for core in self.cores:
             if not core.done:
                 core.finish_cycle = self.sim.now or 1

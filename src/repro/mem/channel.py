@@ -11,21 +11,34 @@ Writes are collected in a write queue and drained in batches (entered at
 a high watermark or when no reads are pending, exited at a low watermark)
 to amortize the read/write turnaround penalty — matching the paper's
 "writes are scheduled in batches to reduce channel turn-arounds".
+
+Hot-path notes
+--------------
+``_dispatch``/``_complete`` run once per DRAM access and dominate
+memory-bound simulations, so they avoid per-call allocation: CAS
+accounting is a flat per-kind integer array (``cas_by_kind`` is a
+derived view), completions ride a FIFO drained by one bound method
+instead of a fresh closure per dispatch (data-bus serialization makes
+finish times monotonic, so FIFO order is completion order), and bank /
+timing lookups are bound to locals inside the loop bodies.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Deque, Optional
 
 from repro.engine.clock import ClockDomain
 from repro.engine.event_queue import Simulator
 from repro.errors import SimulationError
-from repro.mem.request import AccessKind, Request
+from repro.mem.request import ACCESS_KINDS, NUM_ACCESS_KINDS, AccessKind, Request
 from repro.mem.timing import DramTiming
 
 _READ = 0
 _WRITE = 1
+
+_DEMAND_READ = AccessKind.DEMAND_READ
 
 
 class _Bank:
@@ -40,10 +53,28 @@ class _Bank:
 
 
 class ChannelStats:
-    """Per-channel accounting used by the metrics layer."""
+    """Per-channel accounting used by the metrics layer.
+
+    CAS counts are kept in a flat list indexed by ``AccessKind.index``
+    (one integer add per dispatch); :attr:`cas_by_kind` materializes the
+    familiar ``{AccessKind: count}`` view on demand for the metrics
+    layer, listing only kinds that occurred, in enum definition order.
+    """
+
+    __slots__ = (
+        "_cas_counts",
+        "row_hits",
+        "row_misses",
+        "busy_cycles",
+        "reads_done",
+        "writes_done",
+        "demand_read_latency_sum",
+        "demand_reads_done",
+        "mode_switches",
+    )
 
     def __init__(self) -> None:
-        self.cas_by_kind: dict[AccessKind, int] = {}
+        self._cas_counts: list[int] = [0] * NUM_ACCESS_KINDS
         self.row_hits: int = 0
         self.row_misses: int = 0
         self.busy_cycles: int = 0
@@ -54,7 +85,7 @@ class ChannelStats:
         self.mode_switches: int = 0
 
     def record_dispatch(self, req: Request, row_hit: bool, burst: int) -> None:
-        self.cas_by_kind[req.kind] = self.cas_by_kind.get(req.kind, 0) + 1
+        self._cas_counts[req.kind.index] += 1
         if row_hit:
             self.row_hits += 1
         else:
@@ -66,13 +97,24 @@ class ChannelStats:
             self.writes_done += 1
         else:
             self.reads_done += 1
-        if req.kind is AccessKind.DEMAND_READ:
+        if req.kind is _DEMAND_READ:
             self.demand_reads_done += 1
             self.demand_read_latency_sum += req.total_latency()
 
     @property
+    def cas_by_kind(self) -> dict[AccessKind, int]:
+        """Derived per-kind CAS view (kinds seen, enum order)."""
+        counts = self._cas_counts
+        return {kind: counts[kind.index] for kind in ACCESS_KINDS
+                if counts[kind.index]}
+
+    @property
     def total_cas(self) -> int:
-        return sum(self.cas_by_kind.values())
+        return sum(self._cas_counts)
+
+    def cas_count(self, kind: AccessKind) -> int:
+        """CAS count of one kind without building the dict view."""
+        return self._cas_counts[kind.index]
 
     def row_hit_rate(self) -> float:
         total = self.row_hits + self.row_misses
@@ -81,6 +123,37 @@ class ChannelStats:
 
 class DramChannel:
     """One DRAM channel: banks, a data bus, and read/write queues."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "timing",
+        "num_banks",
+        "row_lines",
+        "write_hi",
+        "write_lo",
+        "frfcfs_window",
+        "interleave",
+        "_burst",
+        "_hit_lat",
+        "_miss_lat",
+        "_trp",
+        "_tras",
+        "_turnaround",
+        "_io",
+        "_trefi",
+        "_trfc",
+        "_clock",
+        "_miss_extra",
+        "_banks",
+        "_read_q",
+        "_write_q",
+        "_bus_free",
+        "_mode",
+        "_dispatch_pending",
+        "_completions",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -122,6 +195,8 @@ class DramChannel:
         self._trefi = clock.device_cycles_to_cpu(timing.t_refi) if timing.t_refi else 0
         self._trfc = clock.device_cycles_to_cpu(timing.t_rfc) if timing.t_rfc else 0
         self._clock = clock
+        # Miss penalty beyond the hit path, hoisted out of _dispatch.
+        self._miss_extra = self._miss_lat - self._hit_lat
 
         self._banks = [_Bank() for _ in range(num_banks)]
         self._read_q: Deque[Request] = deque()
@@ -129,6 +204,11 @@ class DramChannel:
         self._bus_free: int = 0
         self._mode: int = _READ
         self._dispatch_pending: bool = False
+        # In-flight completions in finish order (bus serialization makes
+        # finish cycles strictly monotonic per channel, so a FIFO pairs
+        # each scheduled _complete_next event with its request without a
+        # per-dispatch closure).
+        self._completions: Deque[tuple[Request, int]] = deque()
         self.stats = ChannelStats()
 
     # ------------------------------------------------------------------
@@ -141,7 +221,8 @@ class DramChannel:
             self._write_q.append(req)
         else:
             self._read_q.append(req)
-        self._kick()
+        if not self._dispatch_pending:
+            self._kick()
 
     @property
     def read_queue_len(self) -> int:
@@ -193,29 +274,36 @@ class DramChannel:
         if self._dispatch_pending:
             return
         self._dispatch_pending = True
-        self.sim.at(max(self.sim.now, self._bus_free), self._dispatch)
+        sim = self.sim
+        bus_free = self._bus_free
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._queue,
+                  (bus_free if bus_free > sim.now else sim.now, seq,
+                   self._dispatch))
 
     def _select_queue(self) -> Optional[Deque[Request]]:
         """Pick the queue to serve, handling write-drain mode."""
+        read_q, write_q = self._read_q, self._write_q
         if self._mode == _WRITE:
-            if self._write_q and (len(self._write_q) > self.write_lo or not self._read_q):
-                return self._write_q
-            if self._read_q:
+            if write_q and (len(write_q) > self.write_lo or not read_q):
+                return write_q
+            if read_q:
                 self._mode = _READ
                 self.stats.mode_switches += 1
-                return self._read_q
-            return self._write_q if self._write_q else None
+                return read_q
+            return write_q if write_q else None
         # Read mode.
-        if self._read_q:
-            if len(self._write_q) >= self.write_hi:
+        if read_q:
+            if len(write_q) >= self.write_hi:
                 self._mode = _WRITE
                 self.stats.mode_switches += 1
-                return self._write_q
-            return self._read_q
-        if self._write_q:
+                return write_q
+            return read_q
+        if write_q:
             self._mode = _WRITE
             self.stats.mode_switches += 1
-            return self._write_q
+            return write_q
         return None
 
     def _pick_request(self, queue: Deque[Request]) -> Request:
@@ -226,22 +314,36 @@ class DramChannel:
         head of line does not idle the data bus.
         """
         limit = min(self.frfcfs_window, len(queue))
+        if limit == 1:
+            return queue.popleft()
+        interleave = self.interleave
+        row_lines = self.row_lines
+        num_banks = self.num_banks
+        banks = self._banks
+        hit_lat = self._hit_lat
+        miss_lat = self._miss_lat
+        tras = self._tras
         best_idx = 0
         best_ready: Optional[int] = None
         for idx in range(limit):
             req = queue[idx]
-            bank_idx, row = self._bank_and_row(req.line)
-            bank = self._banks[bank_idx]
+            row = (req.line // interleave) // row_lines
+            bank = banks[row % num_banks]
+            busy = bank.busy_until
+            issue = req.issue_cycle
+            if busy < issue:
+                busy = issue
             if bank.open_row == row:
-                ready = max(bank.busy_until, req.issue_cycle) + self._hit_lat
+                ready = busy + hit_lat
             else:
-                ready = (
-                    max(bank.busy_until, req.issue_cycle,
-                        bank.last_activate + self._tras)
-                    + self._miss_lat
-                )
+                activate_ok = bank.last_activate + tras
+                if busy < activate_ok:
+                    busy = activate_ok
+                ready = busy + miss_lat
             if best_ready is None or ready < best_ready:
                 best_idx, best_ready = idx, ready
+        if best_idx == 0:
+            return queue.popleft()
         req = queue[best_idx]
         del queue[best_idx]
         return req
@@ -252,8 +354,6 @@ class DramChannel:
         Refresh is modeled as a periodic blackout: every tREFI, the
         device spends tRFC refreshing and accepts no commands.
         """
-        if not self._trefi:
-            return t
         window_start = (t // self._trefi) * self._trefi
         if t < window_start + self._trfc:
             return window_start + self._trfc
@@ -261,7 +361,6 @@ class DramChannel:
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
-        switched = False
         prev_mode = self._mode
         queue = self._select_queue()
         if queue is None:
@@ -269,25 +368,32 @@ class DramChannel:
         switched = self._mode != prev_mode
         req = self._pick_request(queue)
 
-        bank_idx, row = self._bank_and_row(req.line)
-        bank = self._banks[bank_idx]
+        line = req.line
+        row = (line // self.interleave) // self.row_lines
+        bank = self._banks[row % self.num_banks]
         row_hit = bank.open_row == row
 
-        cmd_t = max(bank.busy_until, req.issue_cycle)
+        cmd_t = bank.busy_until
+        if cmd_t < req.issue_cycle:
+            cmd_t = req.issue_cycle
         if row_hit:
             cmd_lat = self._hit_lat
         else:
             cmd_lat = self._miss_lat
-            cmd_t = max(cmd_t, bank.last_activate + self._tras)
-        cmd_t = self._after_refresh(cmd_t)
+            activate_ok = bank.last_activate + self._tras
+            if cmd_t < activate_ok:
+                cmd_t = activate_ok
+        if self._trefi:
+            cmd_t = self._after_refresh(cmd_t)
 
         bus_ready = self._bus_free + (self._turnaround if switched else 0)
-        burst = (
-            self._clock.device_cycles_to_cpu(req.burst_override)
-            if req.burst_override is not None
-            else self._burst
-        )
-        data_start = max(bus_ready, cmd_t + cmd_lat)
+        if req.burst_override is not None:
+            burst = self._clock.device_cycles_to_cpu(req.burst_override)
+        else:
+            burst = self._burst
+        data_start = cmd_t + cmd_lat
+        if data_start < bus_ready:
+            data_start = bus_ready
         data_end = data_start + burst
 
         # Update bank state so later requests pipeline correctly.
@@ -295,19 +401,24 @@ class DramChannel:
             bank.busy_until = cmd_t + burst
         else:
             bank.last_activate = cmd_t + self._trp
-            bank.busy_until = cmd_t + (self._miss_lat - self._hit_lat) + burst
-        bank.open_row = row
+            bank.busy_until = cmd_t + self._miss_extra + burst
+            bank.open_row = row
 
         self._bus_free = data_end
         req.start_cycle = data_start
         self.stats.record_dispatch(req, row_hit, burst)
 
         finish = data_end + self._io
-        self.sim.at(finish, lambda r=req, t=finish: self._complete(r, t))
-        if self._read_q or self._write_q:
+        self._completions.append((req, finish))
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._queue, (finish, seq, self._complete_next))
+        if (self._read_q or self._write_q) and not self._dispatch_pending:
             self._kick()
 
-    def _complete(self, req: Request, finish: int) -> None:
+    def _complete_next(self) -> None:
+        req, finish = self._completions.popleft()
         req.finish_cycle = finish
         self.stats.record_completion(req)
         if req.on_complete is not None:

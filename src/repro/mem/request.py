@@ -5,13 +5,17 @@ writeback, metadata access, TAD fetch, ...) is a :class:`Request`. The
 :class:`AccessKind` tag is what lets the metrics layer compute the paper's
 CAS-fraction breakdowns (Figs. 8 and 14) without re-deriving intent from
 context.
+
+Requests are the single most-allocated object on the simulation hot
+path, so the class is deliberately lean: ``__slots__``, a hand-written
+``__init__``, and per-kind flags (``is_write``, ``index``) precomputed
+once on the enum members instead of per-call set membership tests.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 LINE_BYTES = 64
@@ -21,7 +25,16 @@ _request_ids = itertools.count()
 
 
 class AccessKind(enum.Enum):
-    """Why a request exists. ``is_write`` is derived from the kind."""
+    """Why a request exists.
+
+    Each member carries two precomputed attributes (assigned right after
+    the class body, so they are plain attribute loads on the hot path):
+
+    - ``is_write`` — whether the transfer moves data *into* a device;
+    - ``index`` — dense 0-based position in definition order, used for
+      array-based CAS accounting in
+      :class:`~repro.mem.channel.ChannelStats`.
+    """
 
     DEMAND_READ = "demand_read"          # CPU-side read (L3 miss)
     PREFETCH_READ = "prefetch_read"      # core-side stride prefetcher
@@ -37,10 +50,6 @@ class AccessKind(enum.Enum):
     FOOTPRINT_READ = "footprint_read"    # footprint prefetch from main memory
     WT_WRITE = "wt_write"                # opportunistic write-through to main memory
 
-    @property
-    def is_write(self) -> bool:
-        return self in _WRITE_KINDS
-
 
 _WRITE_KINDS = frozenset(
     {
@@ -53,8 +62,16 @@ _WRITE_KINDS = frozenset(
     }
 )
 
+#: Members in definition order, indexable by ``AccessKind.index``.
+ACCESS_KINDS: tuple[AccessKind, ...] = tuple(AccessKind)
+NUM_ACCESS_KINDS = len(ACCESS_KINDS)
 
-@dataclass
+for _index, _kind in enumerate(ACCESS_KINDS):
+    _kind.is_write = _kind in _WRITE_KINDS
+    _kind.index = _index
+del _index, _kind
+
+
 class Request:
     """One 64-byte-granularity DRAM access.
 
@@ -76,19 +93,45 @@ class Request:
         TAD transfers (3 cycles instead of 2 on HBM).
     """
 
-    line: int
-    kind: AccessKind
-    core_id: int = -1
-    on_complete: Optional[Callable[["Request", int], None]] = None
-    burst_override: Optional[int] = None
-    req_id: int = field(default_factory=lambda: next(_request_ids))
-    issue_cycle: int = -1
-    start_cycle: int = -1
-    finish_cycle: int = -1
+    __slots__ = (
+        "line",
+        "kind",
+        "core_id",
+        "on_complete",
+        "burst_override",
+        "req_id",
+        "issue_cycle",
+        "start_cycle",
+        "finish_cycle",
+        "is_write",
+    )
 
-    @property
-    def is_write(self) -> bool:
-        return self.kind.is_write
+    def __init__(
+        self,
+        line: int,
+        kind: AccessKind,
+        core_id: int = -1,
+        on_complete: Optional[Callable[["Request", int], None]] = None,
+        burst_override: Optional[int] = None,
+    ) -> None:
+        self.line = line
+        self.kind = kind
+        self.core_id = core_id
+        self.on_complete = on_complete
+        self.burst_override = burst_override
+        self.req_id = next(_request_ids)
+        self.issue_cycle = -1
+        self.start_cycle = -1
+        self.finish_cycle = -1
+        # Copied off the kind so the dispatch loop pays one attribute
+        # load, not an enum property plus a set lookup.
+        self.is_write = kind.is_write
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(line={self.line}, kind={self.kind.value!r}, "
+            f"core_id={self.core_id}, req_id={self.req_id})"
+        )
 
     @property
     def byte_addr(self) -> int:

@@ -136,6 +136,10 @@ class Telemetry:
         self.event_sample = max(1, event_sample)
         self._probes: dict[str, Probe] = {}
         self._series: dict[str, Series] = {}
+        # (name, probe, series.append) triples, rebuilt on registration:
+        # the sampler walks this flat plan instead of re-resolving the
+        # probe and series dicts every interval.
+        self._plan: Optional[list[tuple[str, Probe, Callable]]] = None
         self.decisions: deque[dict] = deque(maxlen=event_buffer)
         self.samples_taken = 0
         self.decisions_seen = 0
@@ -160,6 +164,7 @@ class Telemetry:
             raise ConfigError(f"probe {name!r} already registered")
         self._probes[name] = probe
         self._series[name] = Series(name, maxlen=self.buffer_samples)
+        self._plan = None
 
     def probe_names(self) -> list[str]:
         return list(self._probes)
@@ -181,19 +186,29 @@ class Telemetry:
         self.sim.schedule(self.interval, self._sample)
 
     def _sample(self) -> None:
-        now = self.sim.now
-        values: dict[str, float] = {}
-        for name, probe in self._probes.items():
-            value = float(probe())
-            values[name] = value
-            self._series[name].append(now, value)
-        self.samples_taken += 1
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = [
+                (name, probe, self._series[name].append)
+                for name, probe in self._probes.items()
+            ]
+        sim = self.sim
+        now = sim.now
         if self.sink is not None:
+            values: dict[str, float] = {}
+            for name, probe, append in plan:
+                value = float(probe())
+                values[name] = value
+                append(now, value)
             self.sink.write_sample(now, values)
+        else:
+            for _name, probe, append in plan:
+                append(now, float(probe()))
+        self.samples_taken += 1
         # Self-terminating: only keep sampling while the simulation still
         # has work queued; an idle queue means the run is over.
-        if self.sim.pending:
-            self.sim.schedule(self.interval, self._sample)
+        if sim.pending:
+            sim.schedule(self.interval, self._sample)
 
     # ------------------------------------------------------------------
     # Decision observer (called by steering-policy adapters)

@@ -183,29 +183,66 @@ def generate_trace(
     hot_burst = profile.hot_sector_burst
     hot_sector_base = regions.hot_base
 
+    # The loop runs once per reference across every core, so RNG methods
+    # and per-draw constants are bound to locals, and each bounded draw
+    # inlines CPython's ``_randbelow_with_getrandbits`` rejection loop
+    # (k = bound.bit_length(); draw getrandbits(k) until < bound). The
+    # draw *sequence* is part of the reproducibility contract: these are
+    # the exact getrandbits calls randrange(bound) makes, so the stream
+    # is bit-identical — just without two interpreter frames per draw.
+    rand = rng.random
+    getrandbits = rng.getrandbits
+    gap_span = 2 * mean_gap + 1
+    gap_bits = gap_span.bit_length()
+    local_lines = regions.local_lines
+    local_bits = local_lines.bit_length()
+    stream_mod = max(1, regions.stream_lines)
+    hot_base = regions.hot_base
+    hot_bits = hot_sectors.bit_length()
+    hot_move = 1.0 / hot_burst
+    sector_bits = SECTOR_LINES.bit_length()
+    sparse_base = regions.sparse_base
+    sparse_regions = regions.sparse_regions
+    sparse_bits = sparse_regions.bit_length()
+    write_fraction = profile.write_fraction
+
     for _ in range(num_refs):
-        gap = rng.randint(0, 2 * mean_gap) if mean_gap else 0
-        draw = rng.random()
+        if mean_gap:
+            gap = getrandbits(gap_bits)
+            while gap >= gap_span:
+                gap = getrandbits(gap_bits)
+        else:
+            gap = 0
+        draw = rand()
         if draw < t_local:
-            line = local_base + rng.randrange(regions.local_lines)
+            r = getrandbits(local_bits)
+            while r >= local_lines:
+                r = getrandbits(local_bits)
+            line = local_base + r
         elif draw < t_stream:
             pos = stream_pos[stream_idx]
-            line = base_line + pos % max(1, regions.stream_lines)
-            stream_pos[stream_idx] = (pos + stride) % max(1, regions.stream_lines)
+            line = base_line + pos % stream_mod
+            stream_pos[stream_idx] = (pos + stride) % stream_mod
             stream_idx = (stream_idx + 1) % NUM_STREAMS
         elif draw < t_hot:
-            if rng.random() < 1.0 / hot_burst:
-                hot_sector_base = (
-                    regions.hot_base + rng.randrange(hot_sectors) * SECTOR_LINES
-                )
-            line = base_line + hot_sector_base + rng.randrange(SECTOR_LINES)
+            if rand() < hot_move:
+                r = getrandbits(hot_bits)
+                while r >= hot_sectors:
+                    r = getrandbits(hot_bits)
+                hot_sector_base = hot_base + r * SECTOR_LINES
+            r = getrandbits(sector_bits)
+            while r >= SECTOR_LINES:
+                r = getrandbits(sector_bits)
+            line = base_line + hot_sector_base + r
         elif draw < t_fresh:
             line = base_line + fresh_ptr
             fresh_ptr += 1
         else:
-            region = rng.randrange(regions.sparse_regions)
-            line = base_line + regions.sparse_base + region * SECTOR_LINES
-        is_write = rng.random() < profile.write_fraction
+            r = getrandbits(sparse_bits)
+            while r >= sparse_regions:
+                r = getrandbits(sparse_bits)
+            line = base_line + sparse_base + r * SECTOR_LINES
+        is_write = rand() < write_fraction
         yield gap, is_write, line
 
 
@@ -220,15 +257,17 @@ def warm_lines(
     rng = random.Random(_seed_for(profile, seed) ^ 0x5A5A5A5A)
     regions = _layout(profile, scale)
     wf = profile.write_fraction
+    rand = rng.random
     if profile.mix.stream > 0:
-        for line in range(regions.stream_lines):
-            yield base_line + line, rng.random() < wf
+        for line in range(base_line, base_line + regions.stream_lines):
+            yield line, rand() < wf
     if profile.mix.hot > 0:
-        for line in range(regions.hot_base, regions.hot_base + regions.hot_lines):
-            yield base_line + line, rng.random() < wf
+        for line in range(base_line + regions.hot_base,
+                          base_line + regions.hot_base + regions.hot_lines):
+            yield line, rand() < wf
+    sparse_start = base_line + regions.sparse_base
     for region in range(regions.sparse_regions):
-        yield base_line + regions.sparse_base + region * SECTOR_LINES, \
-            rng.random() < wf
+        yield sparse_start + region * SECTOR_LINES, rand() < wf
 
 
 def core_base_line(core_id: int) -> int:

@@ -92,3 +92,37 @@ def test_events_dispatched_counter_accumulates():
         sim.schedule(1, lambda: None)
     sim.run()
     assert sim.events_dispatched == 4
+
+
+def test_max_events_with_until_pauses_without_advancing_clock():
+    # The run() contract: when the event budget runs out first, the
+    # clock parks at the last dispatched event and is NOT advanced to
+    # `until`, so a later run() resumes with the rest still in the
+    # future.
+    sim = Simulator()
+    fired = []
+    for t in (10, 20, 30, 40):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    assert sim.run(until=100, max_events=2) == 2
+    assert fired == [10, 20]
+    assert sim.now == 20
+    assert sim.pending == 2
+    # Resume with the horizon binding first: the event beyond `until`
+    # stays queued and the clock lands exactly on the horizon.
+    assert sim.run(until=35, max_events=10) == 1
+    assert fired == [10, 20, 30]
+    assert sim.now == 35
+    assert sim.pending == 1
+    # Drain the tail; an emptied queue waits out the horizon.
+    assert sim.run(until=100) == 1
+    assert fired == [10, 20, 30, 40]
+    assert sim.now == 100
+    assert sim.pending == 0
+
+
+def test_max_events_zero_dispatches_nothing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: fired.append(5))
+    assert sim.run(until=50, max_events=0) == 0
+    assert fired == [] and sim.now == 0 and sim.pending == 1

@@ -166,6 +166,6 @@ def test_dirty_blocks_are_always_valid(operations):
             arr.invalidate_block(line)
         # Invariant: dirty bits are a subset of valid bits in every sector.
         for ways in arr._sets.values():
-            for sector in ways:
+            for sector in ways.values():
                 assert sector.dirty & ~sector.valid == 0
         assert arr.resident_sectors() <= arr.num_sets * arr.assoc
