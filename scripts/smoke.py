@@ -36,7 +36,8 @@ def report(name, policy, result):
         f"cycles={result.cycles} mpki={result.mean_mpki:.1f} "
         f"hit={result.served_hit_rate:.2f} mmfrac={result.mm_cas_fraction:.2f} "
         f"lat={result.avg_read_latency:.0f} "
-        f"tagmiss={result.tag_cache_miss_rate and round(result.tag_cache_miss_rate, 2)} "
+        f"tagmiss="
+        f"{result.tag_cache_miss_rate and round(result.tag_cache_miss_rate, 2)} "
         f"gbps={result.delivered_gbps:.1f} dec={result.dap_decisions}"
     )
 

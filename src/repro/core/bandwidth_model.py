@@ -32,7 +32,8 @@ def _check_bandwidths(bandwidths: Sequence[float]) -> None:
         raise ConfigError(f"bandwidths must be positive, got {list(bandwidths)}")
 
 
-def delivered_bandwidth(bandwidths: Sequence[float], fractions: Sequence[float]) -> float:
+def delivered_bandwidth(bandwidths: Sequence[float],
+                        fractions: Sequence[float]) -> float:
     """Equation 2: ``min(B_i / f_i)`` for the given access partition.
 
     A source with ``f_i == 0`` does not constrain delivery. Fractions must
@@ -57,7 +58,8 @@ def optimal_fractions(bandwidths: Sequence[float]) -> list[float]:
     return [b / total for b in bandwidths]
 
 
-def max_delivered_bandwidth(bandwidths: Sequence[float], inflation: float = 1.0) -> float:
+def max_delivered_bandwidth(bandwidths: Sequence[float],
+                            inflation: float = 1.0) -> float:
     """``sum(B_i) / C`` — the ceiling with maintenance inflation ``C``."""
     _check_bandwidths(bandwidths)
     if inflation < 1.0:

@@ -60,6 +60,31 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """The ablation's registered shapes (see repro.validate)."""
+    from repro.validate import Cells, Claim, monotone_rising, ordering
+    return (
+        Claim(
+            id="ablation.techniques_stack",
+            claim="geomean speedup is monotone non-decreasing as "
+                  "techniques stack (each only fires when the solver "
+                  "judges it profitable)",
+            paper="§IV (design), Fig. 7",
+            predicate=monotone_rising(
+                Cells((("GMEAN", "fwb"), ("GMEAN", "fwb+wb"),
+                       ("GMEAN", "fwb+wb+ifrm"), ("GMEAN", "full_dap"))),
+                tol=0.005),
+        ),
+        Claim(
+            id="ablation.full_dap_best",
+            claim="full DAP clearly beats the FWB-only variant",
+            paper="§IV (design)",
+            predicate=ordering(("GMEAN", "full_dap"), ("GMEAN", "fwb"),
+                               margin=0.01),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="ablation",
     title="Ablation — stacking DAP techniques",
@@ -69,6 +94,7 @@ SPEC = ExperimentSpec(
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE),
     notes="normalized weighted speedup over the optimized baseline",
+    claims=claims,
 )
 
 

@@ -27,7 +27,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.errors import ReproError
@@ -53,11 +53,18 @@ from repro.workloads.mixes import Mix
 
 
 class CellExecutionError(ReproError):
-    """One or more cells of a sweep failed; the rest are cached."""
+    """One or more cells of a sweep failed; the rest are cached.
 
-    def __init__(self, message: str, failures: Sequence[CellFailure] = ()):
+    Carries the sweep's :class:`ExecStats` so callers (the runner's
+    batch summary, ``--bench`` records) can still account for the
+    cells that *did* execute before the failure was reported.
+    """
+
+    def __init__(self, message: str, failures: Sequence[CellFailure] = (),
+                 stats: Optional[ExecStats] = None):
         super().__init__(message)
         self.failures = list(failures)
+        self.stats = stats
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +162,11 @@ class ExperimentSpec:
     workload_aware: bool = False
     default_workloads: Optional[tuple] = None
     notes: str = ""
+    #: Zero-argument callable yielding the module's registered
+    #: :class:`~repro.validate.predicates.Claim` list — the paper
+    #: shapes this experiment must reproduce (``--validate`` /
+    #: ``repro-validate`` evaluate them against the rendered table).
+    claims: Optional[Callable[[], Sequence]] = None
 
     def resolve_workloads(
         self, workloads: Optional[Sequence[str]] = None
@@ -277,7 +289,7 @@ def execute_cells(
 
     labels = [cell.label for cell in cells]
     if len(set(labels)) != len(labels):
-        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        dupes = sorted({label for label in labels if labels.count(label) > 1})
         raise ReproError(f"duplicate cell labels: {dupes}")
 
     keys = {cell.label: cell_key(cell.key_parts()) for cell in cells}
@@ -402,6 +414,7 @@ def run_spec(
             f"--resume to retry recorded failures. "
             f"First error: {stats.failures[0].error}",
             stats.failures,
+            stats=stats,
         )
     ctx = CellResults(spec=spec, scale=scale, workloads=workloads,
                       options=options, results=results, stats=stats)

@@ -105,6 +105,43 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """The flat-mode extension's registered shapes (see repro.validate)."""
+    from repro.validate import Cells, Claim, ordering, within_rel
+    return (
+        Claim(
+            id="flat.interleave_beats_first_touch",
+            claim="Eq. 3's bandwidth-ratio interleave out-delivers "
+                  "hit-rate-maximizing first-touch when the working "
+                  "set fits the fast tier",
+            paper="§II (extension)",
+            predicate=ordering(("bandwidth-interleave", "delivered_gbps"),
+                               ("first-touch", "delivered_gbps"),
+                               margin=5.0),
+        ),
+        Claim(
+            id="flat.interleave_hits_optimal_split",
+            claim="the interleaved placement's fast-tier traffic "
+                  "fraction lands on the Eq. 3 optimum "
+                  "102.4/(102.4+38.4) = 0.727",
+            paper="§II / Eq. 3",
+            predicate=within_rel(
+                Cells((("bandwidth-interleave", "fast_traffic_frac"),)),
+                0.05, target=0.727),
+        ),
+        Claim(
+            id="flat.adaptive_converges",
+            claim="the adaptive migrating placement converges: its "
+                  "steady-state bandwidth beats first-touch's delivered "
+                  "bandwidth",
+            paper="§II (extension)",
+            predicate=ordering(("adaptive", "steady_state_gbps"),
+                               ("first-touch", "delivered_gbps"),
+                               margin=5.0),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="flat",
     title="Extension — OS-visible flat memory (Eq. 3 at page level)",
@@ -113,6 +150,7 @@ SPEC = ExperimentSpec(
     cells=cells,
     render=render,
     workload_aware=False,
+    claims=claims,
 )
 
 

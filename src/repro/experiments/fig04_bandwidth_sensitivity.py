@@ -54,6 +54,39 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 4's registered paper shapes (see repro.validate)."""
+    from repro.validate import Claim, ordering, sign
+    return (
+        Claim(
+            id="fig04.classification_reproduces",
+            claim="bandwidth-sensitive workloads gain clearly more from "
+                  "doubling the cache bandwidth than insensitive ones",
+            paper="Fig. 4",
+            predicate=ordering(("GMEAN-sensitive", "ws_204.8/102.4"),
+                               ("GMEAN-insensitive", "ws_204.8/102.4"),
+                               margin=0.02),
+        ),
+        Claim(
+            id="fig04.sensitive_gain",
+            claim="the sensitive set gains substantially (geomean "
+                  "clearly above 1.0) when bandwidth doubles",
+            paper="Fig. 4",
+            predicate=sign(("GMEAN-sensitive", "ws_204.8/102.4"),
+                           above=1.05),
+        ),
+        Claim(
+            id="fig04.mpki_separates_classes",
+            claim="sensitive workloads carry the higher L3 MPKI "
+                  "(mcf, a sensitive thrasher, well above milc, an "
+                  "insensitive streamer)",
+            paper="Fig. 4",
+            predicate=ordering(("mcf", "l3_mpki"), ("milc", "l3_mpki"),
+                               margin=2.0),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig04",
     title="Fig. 4 — speedup from doubling DRAM cache bandwidth",
@@ -63,6 +96,7 @@ SPEC = ExperimentSpec(
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE) + tuple(BANDWIDTH_INSENSITIVE),
     notes="rate-8 mixes, 4 GB sectored DRAM cache",
+    claims=claims,
 )
 
 

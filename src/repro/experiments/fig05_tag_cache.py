@@ -46,6 +46,37 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 5's registered paper shapes (see repro.validate)."""
+    from repro.validate import Cells, Claim, sign
+    return (
+        Claim(
+            id="fig05.tag_cache_pays",
+            claim="the 32K-entry SRAM tag cache improves geomean "
+                  "weighted speedup over the no-tag-cache baseline",
+            paper="Fig. 5",
+            predicate=sign(("GMEAN", "ws_tagcache/none"), above=1.0),
+        ),
+        Claim(
+            id="fig05.thrashers_highest_miss",
+            claim="omnetpp and astar.BigLakes — the poor-sector-"
+                  "utilization workloads — show the highest tag-cache "
+                  "miss rates yet still benefit",
+            paper="Fig. 5",
+            predicate=sign(Cells((("omnetpp", "tag_miss_rate"),
+                                  ("astar.BigLakes", "tag_miss_rate"))),
+                           above=0.2),
+        ),
+        Claim(
+            id="fig05.streamers_lowest_miss",
+            claim="streaming workloads barely miss the tag cache "
+                  "(libquantum's sectors stay resident)",
+            paper="Fig. 5",
+            predicate=sign(("libquantum", "tag_miss_rate"), below=0.1),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig05",
     title="Fig. 5 — effect of the SRAM tag cache",
@@ -55,6 +86,7 @@ SPEC = ExperimentSpec(
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE),
     notes="rate-8 mixes, sectored DRAM cache 4 GB / 102.4 GB/s",
+    claims=claims,
 )
 
 

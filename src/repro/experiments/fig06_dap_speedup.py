@@ -50,6 +50,30 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 6's registered paper shapes (see repro.validate)."""
+    from repro.validate import Cells, Claim, sign
+    return (
+        Claim(
+            id="fig06.dap_gains",
+            claim="DAP improves geomean weighted speedup over the "
+                  "optimized baseline on the bandwidth-sensitive mixes",
+            paper="Fig. 6",
+            predicate=sign(("GMEAN", "norm_ws_dap"), above=1.0),
+        ),
+        Claim(
+            id="fig06.latency_drops_for_winners",
+            claim="DAP's speedups come with lower normalized L3 read "
+                  "miss latency for the big winners (astar.BigLakes, "
+                  "omnetpp)",
+            paper="Fig. 6",
+            predicate=sign(Cells((("astar.BigLakes", "norm_read_latency"),
+                                  ("omnetpp", "norm_read_latency"))),
+                           below=1.0),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig06",
     title="Fig. 6 — DAP speedup and read-miss latency",
@@ -59,6 +83,7 @@ SPEC = ExperimentSpec(
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE),
     notes="rate-8 mixes, 4 GB / 102.4 GB/s sectored DRAM cache, W=64 E=0.75",
+    claims=claims,
 )
 
 

@@ -57,6 +57,41 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 8's registered paper shapes (see repro.validate)."""
+    from repro.validate import Cells, Claim, ordering, within_rel
+    return (
+        Claim(
+            id="fig08.dap_closes_gap",
+            claim="DAP raises the average main-memory CAS fraction "
+                  "above the baseline's, moving toward the Eq. 4 "
+                  "optimum",
+            paper="Fig. 8 / Eq. 4",
+            predicate=ordering(("MEAN", "mm_frac_dap"),
+                               ("MEAN", "mm_frac_base"),
+                               margin=0.02),
+        ),
+        Claim(
+            id="fig08.dap_near_optimal",
+            claim="DAP's average main-memory CAS fraction lands within "
+                  "15% of the analytic optimum 0.273",
+            paper="Fig. 8 / Eq. 4",
+            predicate=within_rel(Cells((("MEAN", "mm_frac_dap"),)),
+                                 0.15, target=0.273),
+        ),
+        Claim(
+            id="fig08.hit_rate_sacrificed",
+            claim="hit rate falls as techniques are added (baseline > "
+                  "FWB+WB > full DAP) — deliberately traded for "
+                  "bandwidth",
+            paper="Fig. 8",
+            predicate=ordering(("MEAN", "hit_base"),
+                               ("MEAN", "hit_fwb_wb"),
+                               ("MEAN", "hit_dap")),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig08",
     title="Fig. 8 — main-memory CAS fraction and hit rates",
@@ -66,6 +101,7 @@ SPEC = ExperimentSpec(
     render=render,
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE),
+    claims=claims,
 )
 
 

@@ -62,6 +62,37 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 9's registered paper shapes (see repro.validate)."""
+    from repro.validate import Cells, Claim, ordering, sign
+    return (
+        Claim(
+            id="fig09.gains_on_every_memory",
+            claim="DAP beats the same-technology baseline on all four "
+                  "main memories",
+            paper="Fig. 9",
+            predicate=sign(Cells(tuple(("GMEAN", m) for m, _ in MEMORIES)),
+                           above=1.0),
+        ),
+        Claim(
+            id="fig09.slow_memory_hurts",
+            claim="high-latency LPDDR4 lowers DAP's benefit below the "
+                  "default DDR4-2400 (steered accesses pay more)",
+            paper="Fig. 9",
+            predicate=ordering(("GMEAN", "DDR4-2400"),
+                               ("GMEAN", "LPDDR4-2400")),
+        ),
+        Claim(
+            id="fig09.fast_memory_helps",
+            claim="higher-bandwidth DDR4-3200 raises DAP's benefit — "
+                  "the optimal partition sends more to main memory",
+            paper="Fig. 9",
+            predicate=ordering(("GMEAN", "DDR4-3200"),
+                               ("GMEAN", "DDR4-2400")),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig09",
     title="Fig. 9 — sensitivity to main-memory technology",
@@ -71,6 +102,7 @@ SPEC = ExperimentSpec(
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE),
     notes="DAP normalized to the same-technology baseline",
+    claims=claims,
 )
 
 

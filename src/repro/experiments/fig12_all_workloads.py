@@ -74,6 +74,38 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 12's registered paper shapes (see repro.validate)."""
+    from repro.validate import Claim, ordering, sign
+    return (
+        Claim(
+            id="fig12.overall_gain",
+            claim="DAP gains over the full evaluation set (geomean "
+                  "across all mixes above 1.0)",
+            paper="Fig. 12",
+            predicate=sign(("GMEAN-all", "norm_ws_dap"), above=1.0),
+        ),
+        Claim(
+            id="fig12.insensitive_unharmed",
+            claim="bandwidth-insensitive mixes are essentially "
+                  "unharmed — DAP seldom invokes partitioning for them",
+            paper="Fig. 12",
+            predicate=sign(("GMEAN-bandwidth-insensitive", "norm_ws_dap"),
+                           above=0.97),
+        ),
+        Claim(
+            id="fig12.sensitive_gain_larger",
+            claim="bandwidth-sensitive mixes gain far more than "
+                  "insensitive ones",
+            paper="Fig. 12",
+            predicate=ordering(
+                ("GMEAN-bandwidth-sensitive", "norm_ws_dap"),
+                ("GMEAN-bandwidth-insensitive", "norm_ws_dap"),
+                margin=0.05),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig12",
     title="Fig. 12 — DAP across all 44 mixes",
@@ -81,6 +113,7 @@ SPEC = ExperimentSpec(
     cells=cells,
     render=render,
     workload_aware=False,
+    claims=claims,
 )
 
 

@@ -59,6 +59,20 @@ def render(ctx: CellResults) -> ExperimentResult:
     return result
 
 
+def claims():
+    """Fig. 13's registered paper shapes (see repro.validate)."""
+    from repro.validate import Claim, sign
+    return (
+        Claim(
+            id="fig13.gain_persists_at_scale",
+            claim="DAP's geomean benefit persists on the 16-core "
+                  "system (paper: 14.6% average)",
+            paper="Fig. 13",
+            predicate=sign(("GMEAN", "norm_ws_dap"), above=1.0),
+        ),
+    )
+
+
 SPEC = ExperimentSpec(
     name="fig13",
     title="Fig. 13 — DAP on a 16-core system",
@@ -68,6 +82,7 @@ SPEC = ExperimentSpec(
     workload_aware=True,
     default_workloads=tuple(BANDWIDTH_SENSITIVE),
     notes="rate-16, 8 GB / 204.8 GB/s DRAM cache, DDR4-3200",
+    claims=claims,
 )
 
 

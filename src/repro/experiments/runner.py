@@ -7,6 +7,7 @@ Usage::
     repro-experiment table1 fig08 --workloads mcf omnetpp
     repro-experiment fig06 fig08 --jobs 8      # fan cells out over processes
     repro-experiment fig12 --resume            # retry recorded cell failures
+    repro-experiment all --validate            # judge paper-shape claims too
     repro-experiment --list                    # registered experiment specs
 
 Each experiment decomposes into independent simulation cells executed
@@ -42,6 +43,13 @@ from repro.experiments.registry import EXPERIMENTS, get_spec, iter_specs
 from repro.metrics.charts import chart_result
 from repro.obs.bench import build_bench_record, write_bench
 from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
+from repro.validate.evaluate import (
+    build_validation,
+    doc_failed,
+    evaluate_result,
+    failed_entry,
+)
+from repro.validate.report import render_summary_line, write_validation
 
 DEFAULT_TRACE_DIR = ".repro-traces"
 
@@ -129,6 +137,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write a BENCH performance-trajectory record "
                              "(per-experiment wall time and events/sec; "
                              "compare with 'repro-analyze bench')")
+    parser.add_argument("--validate", action="store_true",
+                        help="judge each experiment's registered paper-shape "
+                             "claims and write a validation document "
+                             "(see also the repro-validate CLI)")
+    parser.add_argument("--validation-out", metavar="FILE",
+                        default="validation.json",
+                        help="where --validate writes the document "
+                             "(default: validation.json)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -157,6 +173,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     totals = ExecStats()
     per_experiment: dict[str, ExecStats] = {}
     failed: list[str] = []
+    validation_entries: dict[str, dict] = {}
     for name in names:
         start = time.time()
         spec_workloads = args.workloads
@@ -177,6 +194,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ReproError as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)
             failed.append(name)
+            # A failing cell still simulated something: fold the partial
+            # stats into the batch totals so the run summary accounts
+            # for every executed cell, failed experiments included.
+            stats = getattr(exc, "stats", None)
+            if stats is not None:
+                per_experiment[name] = stats
+                totals.merge(stats)
+            if args.validate and name in EXPERIMENTS:
+                validation_entries[name] = failed_entry(
+                    get_spec(name).title, str(exc))
             continue
         except Exception:
             # One broken experiment must not abort the rest of an `all`
@@ -185,7 +212,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             traceback.print_exc()
             failed.append(name)
+            if args.validate and name in EXPERIMENTS:
+                validation_entries[name] = failed_entry(
+                    get_spec(name).title,
+                    f"unexpected {sys.exc_info()[0].__name__}")
             continue
+        if args.validate:
+            entry = evaluate_result(get_spec(name), result)
+            if entry is None:  # no claims registered for this spec
+                entry = {"title": get_spec(name).title, "verdict": "pass",
+                         "claims": []}
+            validation_entries[name] = entry
         result.print()
         if args.chart is not None:
             try:
@@ -220,11 +257,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             run_id=f"{'+'.join(sorted(per_experiment))}@{scale}",
             per_experiment=per_experiment, scale=scale)
         print(f"[bench record written to {write_bench(args.bench, record)}]")
+    validation_failed = False
+    if args.validate and validation_entries:
+        scale = args.scale or os.environ.get("REPRO_SCALE", "smoke")
+        doc = build_validation(validation_entries, scale=scale)
+        path = write_validation(args.validation_out, doc)
+        print(f"[validation document written to {path}]")
+        print(render_summary_line(doc))
+        validation_failed = doc_failed(doc)
     if failed:
         print(f"error: {len(failed)} experiment(s) failed: "
               f"{', '.join(failed)}", file=sys.stderr)
         return 1
-    return 0
+    return 1 if validation_failed else 0
 
 
 if __name__ == "__main__":

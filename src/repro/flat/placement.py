@@ -18,7 +18,6 @@ space the paper's bandwidth equation predicts:
 from __future__ import annotations
 
 import enum
-from typing import Optional
 
 from repro.errors import ConfigError
 

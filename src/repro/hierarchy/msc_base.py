@@ -139,7 +139,8 @@ class MscController:
         total = mm + cache
         return mm / total if total else 0.0
 
-    def _finish_read(self, issue_cycle: int, finish: int, callback: ReadCallback) -> None:
+    def _finish_read(self, issue_cycle: int, finish: int,
+                     callback: ReadCallback) -> None:
         self.stats.reads_done += 1
         self.stats.read_latency_sum += finish - issue_cycle
         callback(finish)

@@ -19,7 +19,8 @@ from repro.mem.request import AccessKind, Request
 class MemoryDevice:
     """A set of channels sharing one configuration (one bandwidth source)."""
 
-    def __init__(self, sim: Simulator, config: DramConfig, cpu_ghz: float = 4.0) -> None:
+    def __init__(self, sim: Simulator, config: DramConfig,
+                 cpu_ghz: float = 4.0) -> None:
         self.sim = sim
         self.config = config
         self.cpu_ghz = cpu_ghz

@@ -244,7 +244,10 @@ def render_comparison(result: ComparisonResult) -> str:
             verdict = "info"
         else:
             verdict = "ok"
-        fmt = lambda v: "-" if v is None else f"{v:,.4g}"
+
+        def fmt(v: Optional[float]) -> str:
+            return "-" if v is None else f"{v:,.4g}"
+
         lines.append(f"{delta.name.ljust(name_w)}  {fmt(delta.baseline):>12}  "
                      f"{fmt(delta.candidate):>12}  {rel_text:>8}  {verdict}")
     lines.append(f"verdict: {'REGRESSED' if result.regressed else 'ok'} "

@@ -1,0 +1,108 @@
+"""Verdict diffing: the regression gate over validation documents.
+
+A *flip* is a claim or experiment whose verdict moved into a failing
+state (``pass``/``pass-deviation`` → ``fail``/``error``) between a
+baseline document (normally the committed ``VERDICTS.json``) and a
+candidate. Flips regress; improvements, newly added claims, and
+claims only present in the baseline are reported but do not gate —
+except through :attr:`VerdictDiff.missing_experiments`: an experiment
+that *vanished* from the candidate is treated as a regression, so a
+gate can't be dodged by unregistering the experiment that fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.validate.evaluate import FAILING_VERDICTS
+
+
+def _claim_statuses(doc: dict) -> dict[str, str]:
+    return {claim["id"]: claim["status"]
+            for entry in doc.get("experiments", {}).values()
+            for claim in entry.get("claims", ())}
+
+
+def _experiment_verdicts(doc: dict) -> dict[str, str]:
+    return {name: entry.get("verdict", "error")
+            for name, entry in doc.get("experiments", {}).items()}
+
+
+@dataclass
+class VerdictDiff:
+    """Every verdict movement between two validation documents."""
+
+    flips: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    softened: list[str] = field(default_factory=list)  # ✔ -> ≈
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    missing_experiments: list[str] = field(default_factory=list)
+    still_failing: list[str] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.flips or self.missing_experiments)
+
+    def render(self) -> str:
+        lines = []
+        for title, items in (
+            ("verdict flips (regressions)", self.flips),
+            ("experiments missing from candidate", self.missing_experiments),
+            ("still failing in both", self.still_failing),
+            ("softened ✔ -> ≈", self.softened),
+            ("improvements", self.improvements),
+            ("new claims", self.added),
+            ("claims only in baseline", self.removed),
+        ):
+            if items:
+                lines.append(f"{title}:")
+                lines.extend(f"  {item}" for item in items)
+        lines.append("verdict diff: "
+                     + ("REGRESSED" if self.regressed else "ok")
+                     + f" ({len(self.flips)} flip(s), "
+                       f"{len(self.missing_experiments)} missing)")
+        return "\n".join(lines)
+
+
+def diff_validations(baseline: dict, candidate: dict) -> VerdictDiff:
+    """Compare two validation documents, claim by claim."""
+    diff = VerdictDiff()
+
+    base_exp = _experiment_verdicts(baseline)
+    cand_exp = _experiment_verdicts(candidate)
+    for name in sorted(base_exp):
+        if name not in cand_exp:
+            diff.missing_experiments.append(name)
+            continue
+        was, now = base_exp[name], cand_exp[name]
+        if was == now:
+            if now in FAILING_VERDICTS:
+                diff.still_failing.append(f"{name}: {now}")
+            continue
+        label = f"{name}: {was} -> {now}"
+        if now in FAILING_VERDICTS and was not in FAILING_VERDICTS:
+            diff.flips.append(label)
+        elif was in FAILING_VERDICTS and now not in FAILING_VERDICTS:
+            diff.improvements.append(label)
+        elif was == "pass" and now == "pass-deviation":
+            diff.softened.append(label)
+        else:
+            diff.improvements.append(label)
+
+    base_claims = _claim_statuses(baseline)
+    cand_claims = _claim_statuses(candidate)
+    for claim_id in sorted(base_claims):
+        if claim_id not in cand_claims:
+            diff.removed.append(claim_id)
+            continue
+        was, now = base_claims[claim_id], cand_claims[claim_id]
+        if was == now:
+            continue
+        label = f"{claim_id}: {was} -> {now}"
+        if now in ("fail", "error") and was == "pass":
+            diff.flips.append(label)
+        else:
+            diff.improvements.append(label)
+    diff.added.extend(sorted(set(cand_claims) - set(base_claims)))
+    return diff

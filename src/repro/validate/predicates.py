@@ -1,0 +1,451 @@
+"""Shape predicates: typed, declarative assertions over result tables.
+
+A *claim* binds one sentence of the paper ("eDRAM bandwidth peaks
+mid-range and falls past ~50% hit rate") to a predicate evaluated
+against the experiment's rendered :class:`ExperimentResult` —
+``ordering``, ``monotone_rising`` / ``monotone_falling``,
+``peak_then_fall``, ``crossover``, ``within_rel``, ``sign``.
+
+Predicates never look at raw simulator state; they read the same table
+the runner prints, through two selectors:
+
+- :class:`Col` — one column by header name, ordered as rendered, with
+  aggregate rows (``GMEAN*`` / ``MEAN*``) excluded unless named;
+- :class:`Cells` — an explicit ordered list of ``(row_label, header)``
+  scalars, for claims that compare specific cells (``GMEAN`` of one
+  policy against another, a single workload's bar).
+
+Evaluation outcomes are three-valued: a predicate *passes* or *fails*
+on data it understands, and raises :class:`ClaimDataError` on data it
+cannot judge (missing rows, too-short series) — the evaluator records
+the latter as ``error``, which gates CI exactly like a failure.
+Non-finite values (NaN/inf) fail rather than error: a NaN in a result
+table means the shape did not reproduce, not that the claim is
+malformed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+#: Row labels with these prefixes are aggregates, excluded from
+#: whole-column selections unless explicitly requested.
+AGGREGATE_PREFIXES = ("GMEAN", "MEAN")
+
+
+class ClaimDataError(ReproError):
+    """The table cannot answer the claim (missing row/column, too few
+    points) — recorded as an ``error`` verdict, not a failure."""
+
+
+# ----------------------------------------------------------------------
+# Table adapter
+# ----------------------------------------------------------------------
+
+class ResultTable:
+    """Read-only view of an ExperimentResult for predicate evaluation."""
+
+    def __init__(self, headers: Sequence[str], rows: Sequence[Sequence]):
+        self.headers = list(headers)
+        self.rows = [list(row) for row in rows]
+        self._col_index = {h: i for i, h in enumerate(self.headers)}
+
+    @classmethod
+    def of(cls, result) -> "ResultTable":
+        return cls(result.headers, result.rows)
+
+    def col_index(self, header: str) -> int:
+        try:
+            return self._col_index[header]
+        except KeyError:
+            raise ClaimDataError(
+                f"no column {header!r}; have {self.headers}") from None
+
+    def row(self, label: str) -> list:
+        for row in self.rows:
+            if row and str(row[0]) == label:
+                return row
+        raise ClaimDataError(
+            f"no row labelled {label!r}; have "
+            f"{[str(r[0]) for r in self.rows if r]}")
+
+    def value(self, label: str, header: str) -> float:
+        raw = self.row(label)[self.col_index(header)]
+        return _as_float(raw, f"{label}/{header}")
+
+    @staticmethod
+    def is_aggregate(label: str) -> bool:
+        return str(label).startswith(AGGREGATE_PREFIXES)
+
+
+def _as_float(raw, where: str) -> float:
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            raise ClaimDataError(
+                f"non-numeric value {raw!r} at {where}") from None
+    return float(raw)
+
+
+# ----------------------------------------------------------------------
+# Selectors
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Col:
+    """One column, as an ordered ``(row_label, value)`` series.
+
+    ``rows`` restricts (and re-orders) the series to those labels;
+    empty means every non-aggregate row in table order.
+    """
+
+    header: str
+    rows: tuple = ()
+
+    def resolve(self, table: ResultTable) -> list:
+        if self.rows:
+            return [(label, table.value(label, self.header))
+                    for label in self.rows]
+        index = table.col_index(self.header)
+        series = [(str(row[0]), _as_float(row[index],
+                                          f"{row[0]}/{self.header}"))
+                  for row in table.rows
+                  if row and not table.is_aggregate(row[0])]
+        if not series:
+            raise ClaimDataError(
+                f"column {self.header!r} has no non-aggregate rows")
+        return series
+
+
+@dataclass(frozen=True)
+class Cells:
+    """Explicit ordered scalars: ``((row_label, header), ...)``."""
+
+    points: tuple
+
+    def resolve(self, table: ResultTable) -> list:
+        if not self.points:
+            raise ClaimDataError("empty cell selection")
+        return [(f"{label}/{header}", table.value(label, header))
+                for label, header in self.points]
+
+
+Selector = Union[Col, Cells]
+
+
+def _finite(series: Sequence) -> Optional[str]:
+    """Label of the first non-finite point, if any."""
+    for label, value in series:
+        if not math.isfinite(value):
+            return f"{label}={value}"
+    return None
+
+
+def _fmt(series: Sequence) -> str:
+    return " ".join(f"{label}={value:.4g}" for label, value in series)
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base: subclasses implement ``check`` over resolved series."""
+
+    def evaluate(self, table: ResultTable):
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lstrip("_")
+
+
+@dataclass(frozen=True)
+class _Ordering(Predicate):
+    """Values, in the order listed, strictly decrease (``margin`` > 0
+    demands a minimum gap; ties fail)."""
+
+    cells: Cells
+    margin: float = 0.0
+
+    name = "ordering"
+
+    def evaluate(self, table: ResultTable):
+        series = self.cells.resolve(table)
+        if len(series) < 2:
+            raise ClaimDataError("ordering needs at least two values")
+        bad = _finite(series)
+        if bad:
+            return False, f"non-finite value {bad}"
+        ok = all(a[1] > b[1] + self.margin
+                 for a, b in zip(series, series[1:]))
+        return ok, " > ".join(f"{label}={value:.4g}"
+                              for label, value in series)
+
+
+def ordering(*points, margin: float = 0.0) -> _Ordering:
+    """``ordering((rowA, col), (rowB, col), ...)`` — listed first must
+    be strictly greater than the next, all the way down."""
+    return _Ordering(Cells(tuple(points)), margin=margin)
+
+
+@dataclass(frozen=True)
+class _Monotone(Predicate):
+    """Series rises (or falls) along its rendered order.
+
+    ``tol`` forgives counter-direction wobbles up to that relative
+    size; ``strict`` additionally rejects ties.
+    """
+
+    series: Selector
+    rising: bool = True
+    tol: float = 0.0
+    strict: bool = False
+
+    @property
+    def name(self) -> str:
+        return "monotone_rising" if self.rising else "monotone_falling"
+
+    def evaluate(self, table: ResultTable):
+        series = self.series.resolve(table)
+        if len(series) < 2:
+            raise ClaimDataError(
+                f"{self.name} needs at least two points, got {len(series)}")
+        bad = _finite(series)
+        if bad:
+            return False, f"non-finite value {bad}"
+        direction = 1.0 if self.rising else -1.0
+        ok = True
+        for (_, prev), (_, curr) in zip(series, series[1:]):
+            step = direction * (curr - prev)
+            slack = self.tol * max(abs(prev), abs(curr))
+            if step < -slack or (self.strict and step <= 0):
+                ok = False
+                break
+        arrow = " -> ".join(f"{value:.4g}" for _, value in series)
+        return ok, arrow
+
+
+def monotone_rising(series: Selector, tol: float = 0.0,
+                    strict: bool = False) -> _Monotone:
+    return _Monotone(series, rising=True, tol=tol, strict=strict)
+
+
+def monotone_falling(series: Selector, tol: float = 0.0,
+                     strict: bool = False) -> _Monotone:
+    return _Monotone(series, rising=False, tol=tol, strict=strict)
+
+
+@dataclass(frozen=True)
+class _PeakThenFall(Predicate):
+    """The series peaks at an interior point and ends below the peak.
+
+    ``peak_within`` (row labels) restricts where the maximum may sit;
+    ``min_drop`` is the relative fall required from peak to final value
+    (0.05 = the last point sits at least 5% below the peak).
+    """
+
+    series: Selector
+    peak_within: tuple = ()
+    min_drop: float = 0.0
+
+    name = "peak_then_fall"
+
+    def evaluate(self, table: ResultTable):
+        series = self.series.resolve(table)
+        if len(series) < 3:
+            raise ClaimDataError(
+                f"peak_then_fall needs at least three points, "
+                f"got {len(series)}")
+        bad = _finite(series)
+        if bad:
+            return False, f"non-finite value {bad}"
+        peak_label, peak = max(series, key=lambda point: point[1])
+        peak_index = next(i for i, p in enumerate(series) if p[1] == peak)
+        last_label, last = series[-1]
+        interior = 0 < peak_index < len(series) - 1
+        in_window = (not self.peak_within
+                     or series[peak_index][0] in self.peak_within)
+        fell = last < peak - self.min_drop * abs(peak)
+        observed = (f"peak {peak:.4g} at {peak_label}, "
+                    f"ends {last:.4g} at {last_label}")
+        if not in_window:
+            observed += f" (peak outside {list(self.peak_within)})"
+        return interior and in_window and fell, observed
+
+
+def peak_then_fall(series: Selector, peak_within: Sequence[str] = (),
+                   min_drop: float = 0.0) -> _PeakThenFall:
+    return _PeakThenFall(series, peak_within=tuple(peak_within),
+                         min_drop=min_drop)
+
+
+@dataclass(frozen=True)
+class _Crossover(Predicate):
+    """Two series swap order somewhere inside a label window.
+
+    ``a`` must be strictly above ``b`` at ``x_range[0]`` and strictly
+    below at ``x_range[1]`` (or vice versa): the sign of ``a - b``
+    flips across the window.
+    """
+
+    a: Col
+    b: Col
+    x_range: tuple
+
+    name = "crossover"
+
+    def evaluate(self, table: ResultTable):
+        if len(self.x_range) != 2:
+            raise ClaimDataError("crossover needs a (start, end) label pair")
+        start, end = self.x_range
+        diffs = []
+        for label in (start, end):
+            av = table.value(label, self.a.header)
+            bv = table.value(label, self.b.header)
+            if not (math.isfinite(av) and math.isfinite(bv)):
+                return False, f"non-finite value at {label}"
+            diffs.append(av - bv)
+        observed = (f"{self.a.header}-{self.b.header}: "
+                    f"{diffs[0]:+.4g} at {start}, {diffs[1]:+.4g} at {end}")
+        flipped = (diffs[0] > 0 > diffs[1]) or (diffs[0] < 0 < diffs[1])
+        return flipped, observed
+
+
+def crossover(a: Union[str, Col], b: Union[str, Col],
+              x_range: Sequence[str]) -> _Crossover:
+    a = Col(a) if isinstance(a, str) else a
+    b = Col(b) if isinstance(b, str) else b
+    return _Crossover(a, b, tuple(x_range))
+
+
+@dataclass(frozen=True)
+class _WithinRel(Predicate):
+    """Every point of ``series`` sits within ``tol`` (relative) of its
+    reference — a paired column, or one analytic constant.
+
+    ``floor`` guards the relative test against near-zero references.
+    """
+
+    series: Selector
+    tol: float
+    reference: Optional[Selector] = None
+    target: Optional[float] = None
+    floor: float = 1e-9
+
+    name = "within_rel"
+
+    def evaluate(self, table: ResultTable):
+        series = self.series.resolve(table)
+        if self.reference is not None:
+            refs = self.reference.resolve(table)
+            if len(refs) != len(series):
+                raise ClaimDataError(
+                    f"within_rel: series has {len(series)} points but "
+                    f"reference has {len(refs)}")
+        elif self.target is not None:
+            refs = [(label, self.target) for label, _ in series]
+        else:
+            raise ClaimDataError("within_rel needs a reference or target")
+        worst = 0.0
+        worst_label = series[0][0]
+        for (label, value), (_, ref) in zip(series, refs):
+            if not (math.isfinite(value) and math.isfinite(ref)):
+                return False, f"non-finite value at {label}"
+            rel = abs(value - ref) / max(abs(ref), self.floor)
+            if rel > worst:
+                worst, worst_label = rel, label
+        ok = worst <= self.tol
+        return ok, (f"max deviation {worst:.1%} at {worst_label} "
+                    f"(tol {self.tol:.0%})")
+
+
+def within_rel(series: Selector, tol: float, *,
+               reference: Optional[Selector] = None,
+               target: Optional[float] = None) -> _WithinRel:
+    return _WithinRel(series, tol, reference=reference, target=target)
+
+
+@dataclass(frozen=True)
+class _Sign(Predicate):
+    """One scalar (or every point of a series) clears a bound:
+    strictly above ``above`` and/or strictly below ``below``."""
+
+    series: Selector
+    above: Optional[float] = None
+    below: Optional[float] = None
+
+    name = "sign"
+
+    def evaluate(self, table: ResultTable):
+        if self.above is None and self.below is None:
+            raise ClaimDataError("sign needs an 'above' or 'below' bound")
+        series = self.series.resolve(table)
+        bad = _finite(series)
+        if bad:
+            return False, f"non-finite value {bad}"
+        ok = all((self.above is None or value > self.above)
+                 and (self.below is None or value < self.below)
+                 for _, value in series)
+        bounds = []
+        if self.above is not None:
+            bounds.append(f"> {self.above:g}")
+        if self.below is not None:
+            bounds.append(f"< {self.below:g}")
+        return ok, f"{_fmt(series)} (want {' and '.join(bounds)})"
+
+
+def sign(point: Union[Selector, tuple], *, above: Optional[float] = None,
+         below: Optional[float] = None) -> _Sign:
+    """``sign((row, col), above=1.0)`` — e.g. a speedup strictly
+    beating its baseline. Accepts a full selector for whole-series
+    bounds ("no workload loses")."""
+    if isinstance(point, tuple) and not isinstance(point, (Col, Cells)):
+        point = Cells((point,))
+    return _Sign(point, above=above, below=below)
+
+
+# ----------------------------------------------------------------------
+# Claims
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Claim:
+    """One machine-checkable paper claim.
+
+    ``deviation`` is non-empty when the claim encodes a reproduced
+    shape that knowingly deviates from the paper's exact statement
+    (EXPERIMENTS.md's ≈ verdicts) — the note says how.
+    """
+
+    id: str
+    claim: str
+    predicate: Predicate
+    paper: str = ""
+    deviation: str = ""
+
+    def evaluate(self, result) -> dict:
+        """Judge this claim against a rendered result table."""
+        table = ResultTable.of(result)
+        entry = {
+            "id": self.id,
+            "claim": self.claim,
+            "paper": self.paper,
+            "predicate": self.predicate.name,
+            "deviation": self.deviation,
+        }
+        try:
+            passed, observed = self.predicate.evaluate(table)
+        except ClaimDataError as exc:
+            entry["status"] = "error"
+            entry["observed"] = str(exc)
+        else:
+            entry["status"] = "pass" if passed else "fail"
+            entry["observed"] = observed
+        return entry

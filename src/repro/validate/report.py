@@ -1,0 +1,141 @@
+"""Validation document I/O and markdown verdict tables.
+
+Rendering is a pure function of the document — byte-identical output
+for identical input — so the round trip
+``results → validation.json → markdown`` can be regression-tested and
+the nightly job-summary table never wobbles without a verdict change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.validate.evaluate import (
+    FAILING_VERDICTS,
+    VERDICT_SYMBOLS,
+    is_validation_doc,
+)
+
+
+def write_validation(path: Union[str, Path], doc: dict) -> Path:
+    """Write the document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True,
+                               ensure_ascii=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_validation(path: Union[str, Path]) -> dict:
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(f"no validation document at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path} is not valid JSON: {exc}") from None
+    if not is_validation_doc(doc):
+        raise ConfigError(
+            f"{path} is not a repro.validation document "
+            f"(schema: {doc.get('schema') if isinstance(doc, dict) else None!r})")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+
+def _md_escape(text: str) -> str:
+    return str(text).replace("|", "\\|").replace("\n", " ")
+
+
+def render_verdict_table(doc: dict) -> str:
+    """The one-line-per-experiment verdict table (the EXPERIMENTS.md
+    verdict column, regenerated)."""
+    lines = [
+        "| experiment | verdict | claims | checked |",
+        "|---|---|---|---|",
+    ]
+    for name, entry in doc["experiments"].items():
+        symbol = VERDICT_SYMBOLS.get(entry["verdict"], "?")
+        claims = entry["claims"]
+        passed = sum(1 for c in claims if c["status"] == "pass")
+        ids = ", ".join(c["id"] for c in claims) or "—"
+        if entry.get("error"):
+            ids = f"run failed: {_md_escape(entry['error'])}"
+        lines.append(
+            f"| {_md_escape(entry['title'])} | {symbol} {entry['verdict']} "
+            f"| {passed}/{len(claims)} | {_md_escape(ids)} |")
+    summary = doc.get("summary", {})
+    lines.append("")
+    lines.append(
+        f"{summary.get('claims', 0)} claims over "
+        f"{summary.get('experiments', 0)} experiments at scale "
+        f"`{doc.get('scale', '?')}`: "
+        f"{summary.get('passed', 0)} passed, "
+        f"{summary.get('failed', 0)} failed, "
+        f"{summary.get('errors', 0)} errors.")
+    return "\n".join(lines)
+
+
+def render_markdown(doc: dict) -> str:
+    """Full report: verdict table plus a per-claim detail table."""
+    lines = ["# Paper-shape validation", ""]
+    lines.append(render_verdict_table(doc))
+    lines.append("")
+    lines.append("## Claims")
+    lines.append("")
+    lines.append("| claim | paper | predicate | status | observed |")
+    lines.append("|---|---|---|---|---|")
+    for entry in doc["experiments"].values():
+        for claim in entry["claims"]:
+            status = claim["status"]
+            mark = {"pass": "✔", "fail": "✗", "error": "!"}.get(status, "?")
+            note = claim.get("deviation")
+            status_text = f"{mark} {status}" + (" (≈)" if note else "")
+            lines.append(
+                f"| `{claim['id']}` | {_md_escape(claim.get('paper', ''))} "
+                f"| {claim['predicate']} | {status_text} "
+                f"| {_md_escape(claim['observed'])} |")
+    failing = [
+        f"`{claim['id']}`: {claim['claim']} — {claim['observed']}"
+        for entry in doc["experiments"].values()
+        for claim in entry["claims"]
+        if claim["status"] != "pass"
+    ]
+    if failing:
+        lines.append("")
+        lines.append("## Failing claims")
+        lines.append("")
+        for item in failing:
+            lines.append(f"- {item}")
+    deviations = [
+        f"`{claim['id']}`: {claim['deviation']}"
+        for entry in doc["experiments"].values()
+        for claim in entry["claims"]
+        if claim.get("deviation")
+    ]
+    if deviations:
+        lines.append("")
+        lines.append("## Known deviations (≈)")
+        lines.append("")
+        for item in deviations:
+            lines.append(f"- {item}")
+    return "\n".join(lines) + "\n"
+
+
+def render_summary_line(doc: dict) -> str:
+    """One terminal line: the runner prints this after --validate."""
+    summary = doc.get("summary", {})
+    failing = [name for name, entry in doc["experiments"].items()
+               if entry["verdict"] in FAILING_VERDICTS]
+    text = (f"[validation: {summary.get('passed', 0)}/"
+            f"{summary.get('claims', 0)} claims passed over "
+            f"{summary.get('experiments', 0)} experiments]")
+    if failing:
+        text += f" FAILING: {', '.join(failing)}"
+    return text

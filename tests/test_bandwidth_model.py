@@ -93,7 +93,8 @@ def test_no_partition_beats_the_optimum(bandwidths, data):
 
 def test_dram_cache_curve_rises_then_flattens():
     bc, bm = 102.4, 38.4
-    points = [analytic_dram_cache_read_bw(h, bc, bm) for h in (0, 0.25, 0.5, 0.7, 0.9, 1.0)]
+    points = [analytic_dram_cache_read_bw(h, bc, bm)
+              for h in (0, 0.25, 0.5, 0.7, 0.9, 1.0)]
     # Rising region while MM-bound.
     assert points[0] < points[1] < points[2]
     # Flat at cache bandwidth from ~70% on (1 - 38.4/102.4 = 62.5%).

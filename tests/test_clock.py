@@ -36,7 +36,8 @@ def test_accesses_per_cpu_cycle_matches_paper_constants():
     # 102.4 GB/s of 64 B accesses at 4 GHz = 0.4 accesses/cycle.
     assert accesses_per_cpu_cycle(102.4) == pytest.approx(0.4)
     # 38.4 GB/s = 0.15 accesses/cycle, so K = 0.4/0.15 = 8/3.
-    assert accesses_per_cpu_cycle(102.4) / accesses_per_cpu_cycle(38.4) == pytest.approx(8 / 3)
+    ratio = accesses_per_cpu_cycle(102.4) / accesses_per_cpu_cycle(38.4)
+    assert ratio == pytest.approx(8 / 3)
 
 
 def test_accesses_rejects_bad_inputs():

@@ -97,7 +97,8 @@ def test_takes_equal_loaded_credit(budget, denom):
     assert takes == min(budget, 255)
 
 
-@given(st.floats(min_value=0.1, max_value=100.0), st.floats(min_value=0.1, max_value=100.0))
+@given(st.floats(min_value=0.1, max_value=100.0),
+       st.floats(min_value=0.1, max_value=100.0))
 @settings(max_examples=100, deadline=None)
 def test_k_approximation_error_bounded(b_cache, b_mm):
     """Property: quarter-rounding error of K is at most 1/8."""

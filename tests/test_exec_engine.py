@@ -1,6 +1,5 @@
 """Tests for the cell-execution engine and its on-disk cache."""
 
-import dataclasses
 import os
 
 import pytest

@@ -1,7 +1,5 @@
 """Integration tests for the sectored DRAM cache controller."""
 
-import pytest
-
 from repro.cache.footprint import FootprintPredictor
 from repro.cache.sectored import SectoredCacheArray, SectorProbe
 from repro.cache.tag_cache import TagCache
@@ -10,7 +8,6 @@ from repro.hierarchy.msc_sectored import SectoredMscController
 from repro.mem.configs import ddr4_2400, hbm_102
 from repro.mem.device import MemoryDevice
 from repro.mem.request import AccessKind
-from repro.policies.base import SteeringPolicy
 from repro.policies.dap import DapSectoredPolicy
 
 

@@ -1,7 +1,16 @@
 """Tests for the repro-experiment command-line interface."""
 
+import json
+from dataclasses import replace
+
 import pytest
 
+from repro.experiments.exec import (
+    CellExecutionError,
+    ExperimentSpec,
+    TaskCell,
+    run_spec,
+)
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import main, run_experiment
 
@@ -78,3 +87,114 @@ def test_run_experiment_warns_on_ignored_workloads():
 def test_cli_scale_flag_validation(capsys):
     with pytest.raises(SystemExit):
         main(["fig01", "--scale", "gigantic"])
+
+
+# ----------------------------------------------------------------------
+# Failure accounting (fake specs: trivial task cells, no simulation)
+# ----------------------------------------------------------------------
+
+def _cell_value(value=1.0):
+    return value
+
+
+def _cell_boom():
+    raise RuntimeError("boom")
+
+
+def _ok_cells(scale, workloads):
+    yield TaskCell("ok1", _cell_value, (("value", 1.0),))
+    yield TaskCell("ok2", _cell_value, (("value", 2.0),))
+
+
+def _boom_cells(scale, workloads):
+    yield TaskCell("fine", _cell_value, (("value", 3.0),))
+    yield TaskCell("broken", _cell_boom)
+
+
+def _fake_render(ctx):
+    result = ctx.new_result()
+    for label in sorted(ctx.results):
+        result.add(label, ctx[label])
+    return result
+
+
+def _ok_claims():
+    from repro.validate import Claim, Col, sign
+    return (Claim(id="figok.positive", claim="every cell is positive",
+                  predicate=sign(Col("value"), above=0.0)),)
+
+
+def _impossible_claims():
+    from repro.validate import Claim, Col, sign
+    return (Claim(id="figbad.huge", claim="values exceed 100",
+                  predicate=sign(Col("value"), above=100.0)),)
+
+
+OK_SPEC = ExperimentSpec(name="figok", title="Fig. OK",
+                         headers=("cell", "value"), cells=_ok_cells,
+                         render=_fake_render, claims=_ok_claims)
+BOOM_SPEC = ExperimentSpec(name="figboom", title="Fig. BOOM",
+                           headers=("cell", "value"), cells=_boom_cells,
+                           render=_fake_render)
+BAD_SPEC = replace(OK_SPEC, name="figbad", claims=_impossible_claims)
+
+
+@pytest.fixture
+def fake_specs(monkeypatch):
+    from repro.experiments import runner
+    real_get_spec = runner.get_spec
+    fakes = {"figok": OK_SPEC, "figboom": BOOM_SPEC, "figbad": BAD_SPEC}
+    monkeypatch.setattr(
+        runner, "get_spec",
+        lambda name: fakes.get(name) or real_get_spec(name))
+    for name in fakes:
+        monkeypatch.setitem(runner.EXPERIMENTS, name, f"<test:{name}>")
+
+
+def test_run_spec_failure_carries_partial_stats():
+    with pytest.raises(CellExecutionError) as excinfo:
+        run_spec(BOOM_SPEC, scale="smoke")
+    err = excinfo.value
+    assert "1 of 2 cells failed" in str(err)
+    assert err.stats is not None
+    assert err.stats.executed == 1       # the cell that DID run
+    assert err.stats.failed == 1
+
+
+def test_cli_names_failed_experiment_and_accounts_stats(fake_specs, capsys):
+    exit_code = main(["figok", "figboom", "--no-cache", "--jobs", "1"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "error: figboom:" in captured.err
+    assert "1 experiment(s) failed: figboom" in captured.err
+    # The failing sweep's executed cell is folded into the batch totals.
+    assert "[run summary: 4 cells: 3 executed, 0 cached, 1 failed]" \
+        in captured.out
+
+
+def test_cli_validate_records_failed_experiment(fake_specs, tmp_path,
+                                                capsys):
+    out_path = tmp_path / "validation.json"
+    exit_code = main(["figok", "figboom", "--no-cache", "--jobs", "1",
+                      "--validate", "--validation-out", str(out_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    doc = json.loads(out_path.read_text())
+    assert doc["experiments"]["figboom"]["verdict"] == "error"
+    assert doc["experiments"]["figok"]["verdict"] == "pass"
+    assert doc["summary"]["errors"] == 1
+    assert "FAILING: figboom" in captured.out
+
+
+def test_cli_validate_gates_on_claim_failure_alone(fake_specs, tmp_path,
+                                                   capsys):
+    # figbad runs all its cells fine; only its registered claim fails.
+    out_path = tmp_path / "validation.json"
+    exit_code = main(["figbad", "--no-cache", "--jobs", "1",
+                      "--validate", "--validation-out", str(out_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "experiment(s) failed" not in captured.err
+    doc = json.loads(out_path.read_text())
+    assert doc["experiments"]["figbad"]["verdict"] == "fail"
+    assert "FAILING: figbad" in captured.out

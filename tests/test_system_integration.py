@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro import SystemConfig, build_system, collect_result
+from repro import SystemConfig, collect_result
 from repro.errors import ConfigError
-from repro.experiments.common import SMOKE, run_mix, scaled_config, warm_system
+from repro.experiments.common import SMOKE, run_mix, scaled_config
 from repro.hierarchy.cache_hierarchy import SramLevels
 from repro.hierarchy.system import build_system as build
 from repro.workloads.mixes import rate_mix
