@@ -1,0 +1,85 @@
+"""Submit an experiment to the job service — entirely in-process.
+
+Builds the three pieces `repro serve` wires together — a SQLite
+:class:`~repro.service.jobstore.JobStore`, a
+:class:`~repro.service.worker.WorkerPool`, and the shared cell cache —
+submits one :class:`~repro.api.ExperimentRequest` through the typed
+facade, follows the job's progress events, and fetches the stored
+result. Submitting the same request a second time shows the dedupe
+tier at work: zero cells execute, everything is served from the
+content-addressed cell cache.
+
+No HTTP involved; for the same flow over the wire, start
+``repro serve`` and use the curl walkthrough in the README.
+
+Usage::
+
+    python examples/submit_job.py [experiment] [workload]
+"""
+
+import sys
+import tempfile
+import time
+
+from repro import api
+from repro.service.jobstore import JobStore
+from repro.service.worker import WorkerPool
+
+
+def wait(store: JobStore, job_id: str, seen: int = 0) -> int:
+    """Poll until the job settles, printing progress events as they land."""
+    while True:
+        for seq, event in store.events_since(job_id, after_seq=seen):
+            seen = seq
+            kind = event.pop("t")
+            detail = " ".join(f"{k}={v}" for k, v in event.items())
+            print(f"  [{seq:2d}] {kind:6s} {detail}")
+        if store.get(job_id).terminal:
+            return seen
+        time.sleep(0.1)
+
+
+def main() -> int:
+    experiment = sys.argv[1] if len(sys.argv) > 1 else "fig06"
+    workload = sys.argv[2] if len(sys.argv) > 2 else "mcf"
+    request = api.ExperimentRequest(
+        experiment=experiment, scale="smoke", workloads=(workload,),
+        timeout_seconds=600,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        store = JobStore(f"{tmp}/jobs.sqlite3")
+        pool = WorkerPool(store, workers=1,
+                          cache=api.default_cache(f"{tmp}/cells"))
+        pool.start()
+        try:
+            print(f"submitting {experiment} / {workload} ...")
+            job = api.submit(request, store)
+            wait(store, job.id)
+
+            done = store.get(job.id)
+            print(f"\njob {done.id[:12]}: {done.state} — "
+                  f"{done.executed_cells} executed, "
+                  f"{done.cached_cells} cached")
+            if done.state != "succeeded":
+                print(f"error: {done.error}")
+                return 1
+            result = store.result(job.id)
+            print(" | ".join(result["headers"]))
+            for row in result["rows"]:
+                print(" | ".join(str(v) for v in row))
+
+            print("\nresubmitting the identical request ...")
+            again = api.submit(request, store)
+            wait(store, again.id)
+            done = store.get(again.id)
+            print(f"job {done.id[:12]}: {done.state} — "
+                  f"{done.executed_cells} executed, "
+                  f"{done.cached_cells} cached (served from the cell cache)")
+        finally:
+            pool.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

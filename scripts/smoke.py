@@ -15,11 +15,10 @@ import argparse
 import os
 import time
 
-from repro.experiments.cellcache import CellCache, default_cache_dir
+from repro.api import MixCell, TelemetryConfig, default_cache, run_cells
 from repro.experiments.common import get_scale, scaled_config
-from repro.experiments.exec import MixCell, execute_cells
 from repro.obs.bench import build_bench_record, write_bench
-from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL, TelemetryConfig
+from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL
 from repro.workloads.mixes import rate_mix
 
 # All smoke artifacts default under here; .gitignore covers it.
@@ -63,8 +62,7 @@ def main(argv=None):
     trace_dir = args.trace_dir or os.path.join(args.out_dir, "traces")
 
     scale = get_scale()
-    cache = None if args.no_cache else CellCache(
-        args.cache_dir or default_cache_dir())
+    cache = None if args.no_cache else default_cache(args.cache_dir)
     telemetry = (TelemetryConfig(probe_interval=args.probe_interval,
                                  trace_dir=trace_dir)
                  if args.trace else None)
@@ -77,7 +75,7 @@ def main(argv=None):
         for policy in POLICIES
     ]
     t0 = time.time()
-    results, stats = execute_cells(cells, jobs=args.jobs, cache=cache)
+    results, stats = run_cells(cells, jobs=args.jobs, cache=cache)
     wall = time.time() - t0
 
     for name in args.workloads:

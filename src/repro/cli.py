@@ -1,0 +1,99 @@
+"""``repro`` — the single command-line entry point.
+
+One command, four subcommands, each delegating to the subsystem CLI it
+replaces::
+
+    repro experiment fig06 --scale smoke     (was: repro-experiment)
+    repro analyze report .repro-traces       (was: repro-analyze)
+    repro validate run all                   (was: repro-validate)
+    repro serve --port 8321                  (new: the job service)
+
+The old console scripts still work as thin shims: they print a
+one-line deprecation note to stderr and delegate here, so existing
+automation keeps running while migrating (see the table in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, Sequence
+
+PROG = "repro"
+
+_USAGE = """\
+usage: repro <command> [args...]
+
+commands:
+  experiment  regenerate the paper's tables and figures
+  analyze     offline trace analysis, run comparison, bench trajectory
+  validate    judge machine-checkable paper-shape claims
+  serve       run the async job service (POST /jobs, SSE progress)
+
+run 'repro <command> --help' for command-specific options.
+"""
+
+
+def _command_main(command: str) -> Callable[[Optional[Sequence[str]]], int]:
+    """Resolve a subcommand's main lazily: 'repro serve --help' must not
+    import the experiment registry, and vice versa."""
+    if command == "experiment":
+        from repro.experiments.runner import main
+    elif command == "analyze":
+        from repro.obs.cli import main
+    elif command == "validate":
+        from repro.validate.cli import main
+    elif command == "serve":
+        from repro.service.server import main
+    else:
+        raise KeyError(command)
+    return main
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    if argv[0] in ("-V", "--version"):
+        from repro import __version__
+        print(f"repro {__version__}")
+        return 0
+    try:
+        command_main = _command_main(argv[0])
+    except KeyError:
+        print(f"{PROG}: unknown command {argv[0]!r}\n", file=sys.stderr)
+        print(_USAGE, end="", file=sys.stderr)
+        return 2
+    return command_main(argv[1:])
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims for the pre-unification console scripts
+# ----------------------------------------------------------------------
+
+def _shim(old: str, command: str,
+          argv: Optional[Sequence[str]] = None) -> int:
+    print(f"warning: '{old}' is deprecated; use 'repro {command}' "
+          "(same arguments)", file=sys.stderr)
+    return _command_main(command)(
+        list(sys.argv[1:] if argv is None else argv))
+
+
+def experiment_shim(argv: Optional[Sequence[str]] = None) -> int:
+    """The legacy ``repro-experiment`` console script."""
+    return _shim("repro-experiment", "experiment", argv)
+
+
+def analyze_shim(argv: Optional[Sequence[str]] = None) -> int:
+    """The legacy ``repro-analyze`` console script."""
+    return _shim("repro-analyze", "analyze", argv)
+
+
+def validate_shim(argv: Optional[Sequence[str]] = None) -> int:
+    """The legacy ``repro-validate`` console script."""
+    return _shim("repro-validate", "validate", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
@@ -64,6 +64,22 @@ class CellExecutionError(ReproError):
                  stats: Optional[ExecStats] = None):
         super().__init__(message)
         self.failures = list(failures)
+        self.stats = stats
+
+
+class CellExecutionCancelled(ReproError):
+    """A sweep was stopped before every cell ran (timeout, cancel, drain).
+
+    Everything that *did* run is already in the cell cache, so re-running
+    the sweep resumes where it stopped instead of restarting.  ``reason``
+    is whatever the ``should_stop`` hook returned; ``stats`` accounts for
+    the cells completed before the stop.
+    """
+
+    def __init__(self, message: str, reason: str = "",
+                 stats: Optional[ExecStats] = None):
+        super().__init__(message)
+        self.reason = reason
         self.stats = stats
 
 
@@ -272,6 +288,8 @@ def execute_cells(
     jobs: int = 1,
     cache: Union[CellCache, str, None] = None,
     resume: bool = False,
+    should_stop: Optional[Callable[[], Optional[str]]] = None,
+    on_cell: Optional[Callable[[str, str, int, int], None]] = None,
 ) -> tuple[dict, ExecStats]:
     """Run cells, returning ``(results by label, ExecStats)``.
 
@@ -280,12 +298,29 @@ def execute_cells(
     are recorded in the stats (and, when caching, on disk — a later
     invocation replays the failure instantly unless ``resume=True``
     forces a retry).
+
+    ``should_stop`` is the job adapter's cancellation hook: a
+    zero-argument callable polled between cells (and between pool
+    completions) that returns a reason string — ``"timeout"``,
+    ``"cancelled"``, ``"shutdown"``, ... — to stop the sweep, or a
+    falsy value to keep going.  Stopping raises
+    :class:`CellExecutionCancelled`; cells finished before the stop are
+    already in the cache, so a re-run drains only the remainder.
+
+    ``on_cell(label, status, done, total)`` is a progress hook invoked
+    once per settled cell with status ``"cached"``, ``"ok"``,
+    ``"replayed-failure"`` or ``"error"``; services feed job progress
+    streams from it.  Hook exceptions are not caught: hooks are
+    engine-adapter code, not user cells.
     """
     cache = _as_cache(cache)
     start = time.time()
     stats = ExecStats(total=len(cells))
     results: dict = {}
     errors: dict = {}
+    done = 0
+    total = len(cells)
+    stop_reason: Optional[str] = None
 
     labels = [cell.label for cell in cells]
     if len(set(labels)) != len(labels):
@@ -302,9 +337,15 @@ def execute_cells(
         if entry is not None and entry.get("status") == "ok":
             results[cell.label] = cellcache.decode_result(entry["result"])
             stats.cache_hits += 1
+            done += 1
+            if on_cell is not None:
+                on_cell(cell.label, "cached", done, total)
         elif entry is not None and entry.get("status") == "error" and not resume:
             errors[cell.label] = f"[recorded failure] {entry.get('error')}"
             stats.replayed_failures += 1
+            done += 1
+            if on_cell is not None:
+                on_cell(cell.label, "replayed-failure", done, total)
         else:
             pending.append(cell)
 
@@ -313,6 +354,14 @@ def execute_cells(
     for cell in pending:
         by_key.setdefault(keys[cell.label], []).append(cell)
     unique = [group[0] for group in by_key.values()]
+
+    def _settled(label: str, status: str) -> None:
+        nonlocal done
+        # One executed cell may settle several labels sharing its key.
+        for twin in by_key.get(keys[label], ()):
+            done += 1
+            if on_cell is not None:
+                on_cell(twin.label, status, done, total)
 
     outcomes: dict = {}  # key -> (status, payload)
     if unique:
@@ -331,6 +380,8 @@ def execute_cells(
                     cell = futures[future]
                     try:
                         label, status, payload, wall = future.result()
+                    except CancelledError:
+                        continue  # never started; the sweep is stopping
                     except BrokenProcessPool:
                         label, status, payload, wall = (
                             cell.label, "error",
@@ -348,8 +399,20 @@ def execute_cells(
                         if wall > 0:
                             stats.profile.append(
                                 _profile_of(label, payload, wall))
+                    _settled(label, status if status == "ok" else "error")
+                    if should_stop is not None and stop_reason is None:
+                        stop_reason = should_stop() or None
+                        if stop_reason:
+                            # Drain: in-flight cells finish (their results
+                            # land in the cache); unstarted ones cancel.
+                            for not_started in futures:
+                                not_started.cancel()
         else:
             for cell in unique:
+                if should_stop is not None:
+                    stop_reason = should_stop() or None
+                    if stop_reason:
+                        break
                 label, status, payload, wall = _execute_one(
                     cell, keys[cell.label], cache)
                 outcomes[keys[label]] = (status, payload)
@@ -357,14 +420,27 @@ def execute_cells(
                     stats.executed += 1
                     if wall > 0:
                         stats.profile.append(_profile_of(label, payload, wall))
+                _settled(label, status if status == "ok" else "error")
 
     # Fan unique outcomes back out to every label sharing the key.
     for cell in pending:
+        if keys[cell.label] not in outcomes:
+            continue  # sweep stopped before this cell started
         status, payload = outcomes[keys[cell.label]]
         if status == "ok":
             results[cell.label] = payload
         else:
             errors[cell.label] = payload
+
+    if stop_reason:
+        stats.failures = [CellFailure(label, errors[label]) for label in labels
+                          if label in errors]
+        stats.elapsed = time.time() - start
+        raise CellExecutionCancelled(
+            f"sweep stopped ({stop_reason}) after {done} of {total} cells; "
+            "completed cells are cached — re-running resumes the remainder",
+            reason=stop_reason, stats=stats,
+        )
 
     stats.failures = [CellFailure(label, errors[label]) for label in labels
                       if label in errors]
@@ -382,6 +458,8 @@ def run_spec(
     resume: bool = False,
     options: Optional[dict] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    should_stop: Optional[Callable[[], Optional[str]]] = None,
+    on_cell: Optional[Callable[[str, str, int, int], None]] = None,
 ) -> ExperimentResult:
     """Execute a spec's cells and render its table.
 
@@ -404,7 +482,8 @@ def run_spec(
         cells = [replace(cell, telemetry=telemetry)
                  if isinstance(cell, MixCell) else cell for cell in cells]
     results, stats = execute_cells(cells, jobs=jobs, cache=cache,
-                                   resume=resume)
+                                   resume=resume, should_stop=should_stop,
+                                   on_cell=on_cell)
     if stats.failures:
         failed = ", ".join(f.label for f in stats.failures[:8])
         more = "" if stats.failed <= 8 else f" (+{stats.failed - 8} more)"

@@ -32,13 +32,13 @@ from typing import Optional, Sequence
 
 from dataclasses import replace
 
+from repro import api
 from repro.errors import ConfigError, ReproError
 from repro.experiments.cellcache import (
     CellCache,
     ExecStats,
     default_cache_dir,
 )
-from repro.experiments.exec import run_spec
 from repro.experiments.registry import EXPERIMENTS, get_spec, iter_specs
 from repro.metrics.charts import chart_result
 from repro.obs.bench import build_bench_record, write_bench
@@ -69,6 +69,10 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
     ``resume`` retries cells whose previous attempt failed;
     ``telemetry`` instruments every simulation cell (probe series plus,
     when its ``trace_dir`` is set, JSONL traces and manifests).
+
+    Thin wrapper over :func:`repro.api.run_experiment` (the typed
+    facade the service and external callers use) that adds the CLI's
+    ignored-``--workloads`` warning.
     """
     spec = get_spec(name)
     if workloads and not spec.workload_aware:
@@ -77,9 +81,13 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
             f"--workloads ignored",
             UserWarning, stacklevel=2,
         )
-    return run_spec(spec, scale=scale_name, workloads=workloads,
-                    jobs=jobs, cache=cache, resume=resume,
-                    telemetry=telemetry)
+    request = api.ExperimentRequest(
+        experiment=name, scale=scale_name,
+        workloads=tuple(workloads) if workloads else None,
+        jobs=jobs, resume=resume,
+    )
+    return api.run_experiment(request, cache=cache, telemetry=telemetry,
+                              spec=spec)
 
 
 def _print_spec_list() -> None:

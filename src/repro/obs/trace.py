@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import tempfile
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
@@ -126,12 +127,29 @@ def read_trace(path: Union[str, Path],
 
 
 def write_manifest(path: Union[str, Path], manifest: dict) -> str:
-    """Write a run manifest as pretty JSON; returns the path written."""
+    """Write a run manifest as pretty JSON; returns the path written.
+
+    Atomic: the manifest lands in a *uniquely named* temp file first and
+    is installed with ``os.replace``.  A fixed temp name would let two
+    workers producing the same manifest interleave writes into one temp
+    file — and a worker killed mid-write would leave a half-written temp
+    for the survivor to install — poisoning the shared sidecar for every
+    other worker.  Unique names + replace mean readers only ever see a
+    complete manifest, and a kill mid-write leaves the target untouched.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)  # readers see old or new, never torn
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return str(path)

@@ -1,0 +1,234 @@
+"""The service's HTTP surface: a dependency-free ASGI application.
+
+Implements the ASGI 3.0 protocol directly (``async def __call__(scope,
+receive, send)``), so the same object is served by uvicorn (the
+``[service]`` extra), by the bundled stdlib fallback server, and by the
+in-process test client — with zero third-party imports in the core.
+
+Routes::
+
+    POST /jobs               submit an ExperimentRequest     -> 202 JobStatus
+    GET  /jobs               list jobs (?state=, ?limit=)    -> 200 [JobStatus]
+    GET  /jobs/<id>          job status                      -> 200 JobStatus
+    GET  /jobs/<id>/result   rendered result table           -> 200 / 409
+    GET  /jobs/<id>/events   progress stream                 -> 200 SSE
+    POST /jobs/<id>/cancel   cancel queued/running job       -> 202 JobStatus
+    GET  /healthz            liveness + worker count         -> 200
+    GET  /stats              queue depth, cache-hit ratio,
+                             events/sec                      -> 200
+
+The SSE stream replays the job's persisted progress events from
+``?after=<seq>`` (or the ``Last-Event-ID`` header), then keeps polling
+the store until the job reaches a terminal state, closing with an
+``event: done`` frame — so clients connecting before, during, or after
+execution all see the same ordered event sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+from urllib.parse import parse_qs
+
+from repro.api import ExperimentRequest
+from repro.errors import ConfigError, ReproError
+from repro.service.jobstore import JobNotFound, JobStore
+
+#: How often the SSE loop polls the store for new events (seconds).
+SSE_POLL_SECONDS = 0.1
+#: Idle heartbeat cadence: a comment frame keeps proxies from timing out.
+SSE_HEARTBEAT_SECONDS = 10.0
+
+JSON_HEADERS = [(b"content-type", b"application/json")]
+SSE_HEADERS = [
+    (b"content-type", b"text/event-stream"),
+    (b"cache-control", b"no-cache"),
+    (b"connection", b"keep-alive"),
+]
+
+
+class ServiceApp:
+    """ASGI app over one :class:`JobStore` (and, optionally, its pool)."""
+
+    def __init__(self, store: JobStore, pool=None) -> None:
+        self.store = store
+        self.pool = pool
+
+    # ------------------------------------------------------------------
+    # ASGI plumbing
+    # ------------------------------------------------------------------
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            return
+        method = scope["method"].upper()
+        path = scope["path"].rstrip("/") or "/"
+        query = parse_qs(scope.get("query_string", b"").decode("latin-1"))
+        try:
+            await self._route(method, path, query, scope, receive, send)
+        except JobNotFound as exc:
+            await self._json(send, 404, {"error": str(exc)})
+        except ConfigError as exc:
+            await self._json(send, 400, {"error": str(exc)})
+        except ReproError as exc:
+            await self._json(send, 500, {"error": str(exc)})
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _route(self, method, path, query, scope, receive, send) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._json(send, 200, {
+                "ok": True,
+                "queue_depth": self.store.stats()["queue_depth"],
+                "workers": self.pool.alive if self.pool is not None else 0,
+            })
+            return
+        if path == "/stats" and method == "GET":
+            stats = self.store.stats()
+            if self.pool is not None:
+                stats["workers"] = self.pool.alive
+                stats["jobs_run_by_this_process"] = self.pool.jobs_run
+            await self._json(send, 200, stats)
+            return
+        if path == "/jobs" and method == "POST":
+            await self._submit(receive, send)
+            return
+        if path == "/jobs" and method == "GET":
+            state = (query.get("state") or [None])[0]
+            limit = int((query.get("limit") or ["100"])[0])
+            jobs = self.store.list_jobs(state=state, limit=limit)
+            await self._json(send, 200,
+                             {"jobs": [job.to_dict() for job in jobs]})
+            return
+        if path.startswith("/jobs/"):
+            parts = path.split("/")[2:]  # ['<id>'] or ['<id>', verb]
+            job_id = parts[0]
+            verb = parts[1] if len(parts) > 1 else None
+            if verb is None and method == "GET":
+                await self._json(send, 200, self.store.get(job_id).to_dict())
+                return
+            if verb == "result" and method == "GET":
+                await self._result(send, job_id)
+                return
+            if verb == "events" and method == "GET":
+                await self._events(scope, query, send, job_id)
+                return
+            if verb == "cancel" and method == "POST":
+                await self._json(send, 202,
+                                 self.store.cancel(job_id).to_dict())
+                return
+        await self._json(send, 404, {"error": f"no route {method} {path}"})
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _submit(self, receive, send) -> None:
+        body = await self._read_body(receive)
+        try:
+            data = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            await self._json(send, 400, {"error": f"invalid JSON: {exc}"})
+            return
+        if not isinstance(data, dict):
+            await self._json(send, 400,
+                             {"error": "request body must be a JSON object"})
+            return
+        request = ExperimentRequest.from_dict(data)
+        request.validate()
+        job = self.store.submit(request)
+        await self._json(send, 202, job.to_dict())
+
+    async def _result(self, send, job_id: str) -> None:
+        job = self.store.get(job_id)
+        if job.state != "succeeded":
+            await self._json(send, 409, {
+                "error": f"job is {job.state}, not succeeded",
+                "job": job.to_dict(),
+            })
+            return
+        await self._json(send, 200, {
+            "job": job.to_dict(),
+            "result": self.store.result(job_id),
+        })
+
+    async def _events(self, scope, query, send, job_id: str) -> None:
+        self.store.get(job_id)  # 404 before the stream starts
+        after = int((query.get("after") or ["0"])[0])
+        for name, value in scope.get("headers", []):
+            if name == b"last-event-id":
+                try:
+                    after = int(value.decode("latin-1"))
+                except ValueError:
+                    pass
+        poll = float((query.get("poll") or [str(SSE_POLL_SECONDS)])[0])
+        await send({"type": "http.response.start", "status": 200,
+                    "headers": list(SSE_HEADERS)})
+        last_sent = 0.0
+        loop = asyncio.get_event_loop()
+        try:
+            while True:
+                events = self.store.events_since(job_id, after)
+                for seq, payload in events:
+                    after = seq
+                    frame = (f"id: {seq}\n"
+                             f"data: {json.dumps(payload)}\n\n")
+                    await send({"type": "http.response.body",
+                                "body": frame.encode("utf-8"),
+                                "more_body": True})
+                    last_sent = loop.time()
+                job = self.store.get(job_id)
+                if job.terminal and not self.store.events_since(job_id, after):
+                    done = (f"event: done\n"
+                            f"data: {json.dumps(job.to_dict())}\n\n")
+                    await send({"type": "http.response.body",
+                                "body": done.encode("utf-8"),
+                                "more_body": False})
+                    return
+                if loop.time() - last_sent > SSE_HEARTBEAT_SECONDS:
+                    await send({"type": "http.response.body",
+                                "body": b": heartbeat\n\n",
+                                "more_body": True})
+                    last_sent = loop.time()
+                await asyncio.sleep(poll)
+        except (asyncio.CancelledError, ConnectionError):
+            return  # client went away; nothing to clean up
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    async def _read_body(receive) -> bytes:
+        chunks: list[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":
+                break
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body"):
+                break
+        return b"".join(chunks)
+
+    @staticmethod
+    async def _json(send, status: int, payload: dict,
+                    headers: Optional[list] = None) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        await send({"type": "http.response.start", "status": status,
+                    "headers": (headers or list(JSON_HEADERS))})
+        await send({"type": "http.response.body", "body": body})
+
+
+def create_app(store, pool=None) -> ServiceApp:
+    """App factory: ``store`` is a JobStore or a database path."""
+    if not isinstance(store, JobStore):
+        store = JobStore(store)
+    return ServiceApp(store, pool=pool)

@@ -1,0 +1,229 @@
+"""In-process ASGI test client (no sockets, no third-party deps).
+
+Drives any ASGI 3.0 application — in practice
+:class:`repro.service.app.ServiceApp` — by calling it directly with a
+synthesized HTTP scope, the way httpx's ASGI transport or Starlette's
+TestClient would, but implemented on the stdlib so the endpoint tests
+run in environments without the ``[service]`` extra.
+
+Two modes:
+
+- :meth:`TestClient.get` / :meth:`TestClient.post` — buffered
+  request/response for plain JSON endpoints;
+- :meth:`TestClient.stream` — a background-thread consumer for SSE
+  endpoints, handing parsed events to the caller as they arrive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+from typing import Optional
+from urllib.parse import urlsplit
+
+
+class Response:
+    """A fully buffered HTTP response."""
+
+    def __init__(self, status: int, headers: list[tuple[bytes, bytes]],
+                 body: bytes) -> None:
+        self.status = status
+        self.headers = {k.decode("latin-1").lower(): v.decode("latin-1")
+                        for k, v in headers}
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self):
+        return json.loads(self.body)
+
+    def __repr__(self) -> str:
+        return f"Response(status={self.status}, bytes={len(self.body)})"
+
+
+def parse_sse(text: str) -> list[dict]:
+    """Parse an SSE byte stream into event dicts.
+
+    Each event becomes ``{"id": ..., "event": ..., "data": <parsed
+    JSON or raw string>}``; comment-only frames (heartbeats) are
+    dropped.
+    """
+    events: list[dict] = []
+    for frame in text.split("\n\n"):
+        event: dict = {}
+        for line in frame.splitlines():
+            if not line or line.startswith(":"):
+                continue
+            field, _, value = line.partition(":")
+            value = value.lstrip(" ")
+            if field == "data":
+                try:
+                    event["data"] = json.loads(value)
+                except json.JSONDecodeError:
+                    event["data"] = value
+            elif field in ("id", "event"):
+                event[field] = value
+        if event:
+            events.append(event)
+    return events
+
+
+class TestClient:
+    """Synchronous facade over one ASGI application."""
+
+    __test__ = False  # "Test" prefix is descriptive, not a pytest class
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, url: str,
+                json_body: Optional[dict] = None,
+                headers: Optional[dict] = None) -> Response:
+        return asyncio.run(self._request(method, url, json_body, headers))
+
+    def get(self, url: str, headers: Optional[dict] = None) -> Response:
+        return self.request("GET", url, headers=headers)
+
+    def post(self, url: str, json_body: Optional[dict] = None,
+             headers: Optional[dict] = None) -> Response:
+        return self.request("POST", url, json_body=json_body, headers=headers)
+
+    async def _request(self, method, url, json_body, headers) -> Response:
+        split = urlsplit(url)
+        body = (json.dumps(json_body).encode("utf-8")
+                if json_body is not None else b"")
+        raw_headers = [(k.lower().encode("latin-1"), v.encode("latin-1"))
+                       for k, v in (headers or {}).items()]
+        if json_body is not None:
+            raw_headers.append((b"content-type", b"application/json"))
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": split.path,
+            "raw_path": split.path.encode("latin-1"),
+            "query_string": split.query.encode("latin-1"),
+            "headers": raw_headers,
+            "client": ("testclient", 50000),
+            "server": ("testserver", 80),
+            "scheme": "http",
+        }
+        sent = {"body": False}
+
+        async def receive():
+            if sent["body"]:
+                return {"type": "http.disconnect"}
+            sent["body"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        status: list[int] = []
+        resp_headers: list[tuple[bytes, bytes]] = []
+        chunks: list[bytes] = []
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                status.append(message["status"])
+                resp_headers.extend(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        await self.app(scope, receive, send)
+        if not status:
+            raise AssertionError("app sent no response start")
+        return Response(status[0], resp_headers, b"".join(chunks))
+
+    # ------------------------------------------------------------------
+    def stream(self, url: str, timeout: float = 30.0) -> "EventStream":
+        """Consume an SSE endpoint live from a background thread."""
+        return EventStream(self.app, url, timeout=timeout)
+
+
+class EventStream:
+    """Background consumer of one SSE response.
+
+    Events appear on :meth:`next_event` as they are sent by the app;
+    the stream ends when the app closes the response (``more_body``
+    False) or ``timeout`` elapses.  Use as a context manager to
+    guarantee the thread is joined.
+    """
+
+    def __init__(self, app, url: str, timeout: float = 30.0) -> None:
+        self.app = app
+        self.url = url
+        self.timeout = timeout
+        self._queue: "queue.Queue[Optional[dict]]" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._consume())
+        finally:
+            self._queue.put(None)  # end-of-stream marker
+
+    async def _consume(self) -> None:
+        split = urlsplit(self.url)
+        scope = {
+            "type": "http", "asgi": {"version": "3.0"},
+            "http_version": "1.1", "method": "GET",
+            "path": split.path,
+            "query_string": split.query.encode("latin-1"),
+            "headers": [], "scheme": "http",
+        }
+        buffer = [""]
+
+        async def receive():
+            await asyncio.sleep(3600)  # the app never reads a GET body
+
+        async def send(message):
+            if message["type"] != "http.response.body":
+                return
+            buffer[0] += message.get("body", b"").decode("utf-8")
+            # Emit every complete frame; keep the partial tail.
+            while "\n\n" in buffer[0]:
+                frame, buffer[0] = buffer[0].split("\n\n", 1)
+                for event in parse_sse(frame + "\n\n"):
+                    self._queue.put(event)
+            if not message.get("more_body"):
+                raise _StreamDone
+
+        try:
+            await asyncio.wait_for(self.app(scope, receive, send),
+                                   timeout=self.timeout)
+        except (_StreamDone, asyncio.TimeoutError):
+            pass
+
+    def next_event(self, timeout: float = 10.0) -> Optional[dict]:
+        """The next event, or None at end-of-stream (or timeout)."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def collect(self, timeout: float = 30.0) -> list[dict]:
+        """Drain the stream to completion, returning every event."""
+        events: list[dict] = []
+        while True:
+            event = self.next_event(timeout=timeout)
+            if event is None:
+                return events
+            events.append(event)
+
+    def close(self) -> None:
+        self._thread.join(timeout=self.timeout)
+
+    def __enter__(self) -> "EventStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _StreamDone(Exception):
+    """Raised inside the send callable to unwind a finished stream."""

@@ -1,0 +1,210 @@
+"""The service worker pool: jobs → the cell engine, with guard rails.
+
+Each worker thread claims jobs from the :class:`~repro.service.jobstore.
+JobStore` and executes them through the public facade
+(:func:`repro.api.run_experiment`), so a service-executed job takes the
+*identical* code path as a direct ``repro experiment`` invocation —
+that, plus the shared content-addressed cell cache, is what makes
+service results bit-identical to local runs and repeat submissions free.
+
+Guard rails, all first-class:
+
+- **timeout** — a per-job deadline checked between cells through the
+  engine's ``should_stop`` hook; an expired job is failed (and retried,
+  if its attempt budget allows) with everything simulated so far already
+  in the cell cache;
+- **cancellation** — ``cancel_requested`` on the job row, observed by
+  the same hook;
+- **retries** — bounded by ``ExperimentRequest.max_attempts`` with
+  exponential backoff, bookkept by the store;
+- **graceful drain** — ``stop()`` lets the in-flight *cells* finish,
+  then releases unfinished jobs back to the queue without an attempt
+  penalty, so a redeploy loses zero simulation work;
+- **progress** — every settled cell posts an event to the store (the
+  SSE feed), and traced jobs additionally stream sampled telemetry
+  records through a :class:`~repro.obs.progress.TraceTailer`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.api import (
+    CellExecutionCancelled,
+    ExperimentRequest,
+    JobStatus,
+    result_to_dict,
+    run_experiment,
+)
+from repro.errors import ReproError
+from repro.experiments.cellcache import CellCache
+from repro.obs.progress import TraceTailer
+from repro.service.jobstore import JobStore
+
+#: How long an idle worker sleeps between claim attempts.
+DEFAULT_POLL_SECONDS = 0.1
+#: Throttle for the cancel-flag poll inside should_stop (seconds).
+CANCEL_POLL_SECONDS = 0.25
+#: Keep every Nth telemetry sample when forwarding to the SSE feed.
+SSE_SAMPLE_STRIDE = 10
+
+
+class _JobRun:
+    """Per-job execution context: hooks, deadline, telemetry tailer."""
+
+    def __init__(self, store: JobStore, job: JobStatus,
+                 stop_event: threading.Event,
+                 trace_dir: Optional[str]) -> None:
+        self.store = store
+        self.job = job
+        self.stop_event = stop_event
+        self.trace_dir = trace_dir
+        self.deadline = (time.monotonic() + job.request.timeout_seconds
+                         if job.request.timeout_seconds else None)
+        self._last_cancel_poll = 0.0
+        self._cancelled = False
+        self._tailer = TraceTailer(trace_dir, sample=SSE_SAMPLE_STRIDE) \
+            if trace_dir else None
+
+    def should_stop(self) -> Optional[str]:
+        """The engine's cancellation hook, polled between cells."""
+        if self.stop_event.is_set():
+            return "shutdown"
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            return "timeout"
+        now = time.monotonic()
+        if now - self._last_cancel_poll >= CANCEL_POLL_SECONDS:
+            self._last_cancel_poll = now
+            self._cancelled = self.store.cancel_requested(self.job.id)
+        return "cancelled" if self._cancelled else None
+
+    def on_cell(self, label: str, status: str, done: int, total: int) -> None:
+        """The engine's progress hook: one event per settled cell."""
+        self.store.set_progress(self.job.id, done, total)
+        self.store.add_event(self.job.id, {
+            "t": "cell", "label": label, "status": status,
+            "done": done, "total": total,
+        })
+        self.pump_telemetry()
+
+    def pump_telemetry(self) -> None:
+        """Forward new telemetry JSONL records to the SSE feed."""
+        if self._tailer is None:
+            return
+        for stem, record in self._tailer.iter_new():
+            kind = record.get("t")
+            if kind == "sample":
+                self.store.add_event(self.job.id, {
+                    "t": "telemetry", "trace": stem,
+                    "cycle": record.get("cycle"),
+                    "values": record.get("values"),
+                })
+            elif kind == "meta":
+                self.store.add_event(self.job.id, {
+                    "t": "telemetry-meta", "trace": stem,
+                    "probes": record.get("probes"),
+                })
+
+
+class WorkerPool:
+    """N worker threads draining one job store."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        workers: int = 2,
+        cache: Optional[CellCache] = None,
+        trace_root: Optional[str] = None,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.trace_root = trace_root
+        self.poll_seconds = poll_seconds
+        self.num_workers = max(1, workers)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.jobs_run = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        for i in range(self.num_workers):
+            name = f"repro-worker-{os.getpid()}-{i}"
+            thread = threading.Thread(
+                target=self._loop, name=name, args=(name,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful drain: finish in-flight cells, requeue their jobs."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    # ------------------------------------------------------------------
+    def _loop(self, worker_name: str) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.store.claim(worker_name)
+            except Exception:
+                # A transient DB hiccup (e.g. lock timeout) must not
+                # kill the worker; back off and retry.
+                self._stop.wait(self.poll_seconds * 10)
+                continue
+            if job is None:
+                self._stop.wait(self.poll_seconds)
+                continue
+            self.jobs_run += 1
+            self._run_job(worker_name, job)
+
+    def _trace_dir_for(self, job: JobStatus) -> Optional[str]:
+        if not (job.request.trace and self.trace_root):
+            return None
+        return os.path.join(self.trace_root, job.id)
+
+    def _run_job(self, worker_name: str, job: JobStatus) -> None:
+        run = _JobRun(self.store, job, self._stop,
+                      self._trace_dir_for(job))
+        try:
+            result = run_experiment(
+                job.request,
+                cache=self.cache,
+                trace_dir=run.trace_dir,
+                should_stop=run.should_stop,
+                on_cell=run.on_cell,
+            )
+        except CellExecutionCancelled as exc:
+            run.pump_telemetry()
+            if exc.reason == "shutdown":
+                # Drained mid-job: completed cells are cached, so the
+                # next claimer resumes instead of re-simulating.
+                self.store.release(job.id)
+            elif exc.reason == "cancelled":
+                self.store.mark_cancelled(job.id)
+            else:  # timeout (or a future reason): retryable failure
+                self.store.fail(job.id, f"stopped: {exc.reason} ({exc})",
+                                retryable=True)
+            return
+        except ReproError as exc:
+            run.pump_telemetry()
+            self.store.fail(job.id, f"{type(exc).__name__}: {exc}",
+                            retryable=True)
+            return
+        except Exception as exc:  # noqa: BLE001 — worker must survive jobs
+            self.store.fail(job.id, f"unexpected {type(exc).__name__}: {exc}",
+                            retryable=True)
+            return
+        run.pump_telemetry()
+        self.store.complete(job.id, result_to_dict(result))

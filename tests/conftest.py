@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def shared_cache_dir(tmp_path_factory):
+    """One session-wide cell cache directory.
+
+    Tests that only need *a* warm cache share it, so the first user
+    pays the simulation cost and everyone else gets cache hits.  Tests
+    asserting cold-execution counts must use their own tmp directory.
+    """
+    return str(tmp_path_factory.mktemp("cellcache"))

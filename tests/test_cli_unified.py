@@ -1,0 +1,78 @@
+"""The unified ``repro`` CLI and the deprecated console-script shims."""
+
+import pytest
+
+from repro.cli import (
+    analyze_shim,
+    experiment_shim,
+    main,
+    validate_shim,
+)
+
+
+def test_help_lists_every_subcommand(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for command in ("experiment", "analyze", "validate", "serve"):
+        assert command in out
+
+
+def test_no_arguments_prints_usage_and_succeeds(capsys):
+    assert main([]) == 0
+    assert "usage: repro" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+    assert main(["--version"]) == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_unknown_command_is_an_error(capsys):
+    assert main(["frobnicate"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown command 'frobnicate'" in captured.err
+    assert "usage: repro" in captured.err
+    assert captured.out == ""
+
+
+def test_experiment_subcommand_delegates(capsys):
+    assert main(["experiment", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig06" in out
+
+
+@pytest.mark.parametrize("subcommand", ["experiment", "analyze",
+                                        "validate", "serve"])
+def test_each_subcommand_wires_to_a_real_parser(subcommand, capsys):
+    # argparse exits 0 on --help; reaching it proves the lazy import
+    # resolved and the delegation passed arguments through.
+    with pytest.raises(SystemExit) as excinfo:
+        main([subcommand, "--help"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+
+def test_experiment_shim_warns_then_delegates(capsys):
+    assert experiment_shim(["--list"]) == 0
+    captured = capsys.readouterr()
+    assert "'repro-experiment' is deprecated" in captured.err
+    assert "repro experiment" in captured.err
+    assert "fig06" in captured.out  # the real subcommand still ran
+
+
+@pytest.mark.parametrize("shim, old", [
+    (analyze_shim, "repro-analyze"),
+    (validate_shim, "repro-validate"),
+])
+def test_other_shims_warn_then_delegate(shim, old, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        shim(["--help"])
+    assert excinfo.value.code == 0
+    captured = capsys.readouterr()
+    assert f"'{old}' is deprecated" in captured.err
+    assert captured.out

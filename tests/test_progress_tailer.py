@@ -1,0 +1,125 @@
+"""The telemetry tailer and the atomic manifest writer."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.progress import TraceTailer
+from repro.obs.trace import write_manifest
+
+
+def _append(path, text):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _record(i, kind="sample"):
+    return {"t": kind, "cycle": i * 100, "values": {"ipc": 1.0}}
+
+
+# ----------------------------------------------------------------------
+# TraceTailer
+# ----------------------------------------------------------------------
+
+def test_tailer_yields_each_record_exactly_once(tmp_path):
+    trace = tmp_path / "mcf.trace.jsonl"
+    tailer = TraceTailer(tmp_path)
+    assert tailer.poll() == []  # empty dir, nothing to do
+
+    _append(trace, json.dumps(_record(0)) + "\n")
+    assert [r["cycle"] for _, r in tailer.poll()] == [0]
+    assert tailer.poll() == []  # no re-delivery
+
+    _append(trace, json.dumps(_record(1)) + "\n" + json.dumps(_record(2))
+            + "\n")
+    polled = tailer.poll()
+    assert [stem for stem, _ in polled] == ["mcf", "mcf"]
+    assert [r["cycle"] for _, r in polled] == [100, 200]
+
+
+def test_tailer_holds_back_partially_written_lines(tmp_path):
+    trace = tmp_path / "mcf.trace.jsonl"
+    tailer = TraceTailer(tmp_path)
+    full = json.dumps(_record(0))
+    _append(trace, full[:10])  # writer flushed mid-record
+    assert tailer.poll() == []
+
+    _append(trace, full[10:] + "\n")
+    assert [r["cycle"] for _, r in tailer.poll()] == [0]
+
+
+def test_tailer_samples_probe_records_but_not_meta(tmp_path):
+    trace = tmp_path / "mcf.trace.jsonl"
+    tailer = TraceTailer(tmp_path, sample=3)
+    lines = [json.dumps(_record(i)) for i in range(7)]
+    lines.insert(0, json.dumps({"t": "meta", "probes": ["ipc"]}))
+    _append(trace, "\n".join(lines) + "\n")
+
+    polled = tailer.poll()
+    kinds = [r["t"] for _, r in polled]
+    assert kinds[0] == "meta"  # non-sample records always pass
+    assert [r["cycle"] for _, r in polled if r["t"] == "sample"] == [0, 300,
+                                                                    600]
+
+
+def test_tailer_watches_files_appearing_mid_run(tmp_path):
+    tailer = TraceTailer(tmp_path)
+    assert tailer.poll() == []
+    (tmp_path / "sub").mkdir()
+    _append(tmp_path / "sub" / "late.trace.jsonl",
+            json.dumps(_record(0)) + "\n")
+    assert [stem for stem, _ in tailer.poll()] == ["late"]
+
+
+def test_tailer_skips_torn_lines_and_non_trace_files(tmp_path):
+    _append(tmp_path / "mcf.trace.jsonl", "{not json}\n"
+            + json.dumps(_record(1)) + "\n")
+    _append(tmp_path / "notes.txt", "ignored\n")
+    polled = TraceTailer(tmp_path).poll()
+    assert [r["cycle"] for _, r in polled] == [100]
+
+
+def test_drain_is_a_final_poll(tmp_path):
+    trace = tmp_path / "mcf.trace.jsonl"
+    tailer = TraceTailer(tmp_path)
+    _append(trace, json.dumps(_record(0)) + "\n")
+    assert len(tailer.drain()) == 1
+    assert tailer.drain() == []
+
+
+# ----------------------------------------------------------------------
+# Atomic manifest writes
+# ----------------------------------------------------------------------
+
+def test_write_manifest_is_atomic_and_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "run.manifest.json"
+    written = write_manifest(path, {"events": 123})
+    assert json.loads(path.read_text())["events"] == 123
+    assert os.path.samefile(written, path)
+    leftovers = [p for p in tmp_path.iterdir() if p != path]
+    assert leftovers == []
+
+
+def test_failed_write_keeps_the_previous_manifest_intact(tmp_path):
+    path = tmp_path / "run.manifest.json"
+    write_manifest(path, {"events": 1})
+
+    with pytest.raises(TypeError):
+        write_manifest(path, {"bad": object()})  # not JSON-serializable
+
+    # The install never happened and the aborted temp file was removed.
+    assert json.loads(path.read_text()) == {"events": 1}
+    assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+
+def test_concurrent_writers_use_distinct_temp_files(tmp_path):
+    # A stale temp from a killed writer must never be installed or
+    # collided with: mkstemp gives every writer a unique name.
+    path = tmp_path / "run.manifest.json"
+    stale = tmp_path / (path.name + ".stale.tmp")
+    stale.write_text("{torn")
+
+    write_manifest(path, {"events": 2})
+    assert json.loads(path.read_text()) == {"events": 2}
+    assert stale.read_text() == "{torn"  # untouched

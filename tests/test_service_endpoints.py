@@ -1,0 +1,204 @@
+"""The HTTP surface, driven in-process through the ASGI test client.
+
+Covers the acceptance path end-to-end: submit over HTTP, watch progress
+on the SSE stream (at least one cell event before completion), fetch
+the result, and observe a repeat submission served entirely from the
+cell cache.
+"""
+
+import time
+
+import pytest
+
+from repro import api
+from repro.service.app import ServiceApp
+from repro.service.jobstore import JobStore
+from repro.service.testing import TestClient, parse_sse
+from repro.service.worker import WorkerPool
+
+REQUEST_BODY = {"experiment": "fig06", "scale": "smoke",
+                "workloads": ["mcf"]}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs.sqlite3", backoff_base=0.02)
+
+
+@pytest.fixture
+def pool(store, shared_cache_dir):
+    pool = WorkerPool(store, workers=1,
+                      cache=api.default_cache(shared_cache_dir),
+                      poll_seconds=0.02)
+    yield pool  # tests that need workers call pool.start()
+    pool.stop(timeout=120)
+
+
+@pytest.fixture
+def client(store, pool):
+    return TestClient(ServiceApp(store, pool=pool))
+
+
+def _poll_terminal(client, job_id, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        job = client.get(f"/jobs/{job_id}").json()
+        if job["terminal"]:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal after {timeout}s")
+
+
+# ----------------------------------------------------------------------
+# Liveness and error surfaces
+# ----------------------------------------------------------------------
+
+def test_healthz_reports_queue_and_workers(client, pool):
+    response = client.get("/healthz")
+    assert response.status == 200
+    assert response.headers["content-type"] == "application/json"
+    body = response.json()
+    assert body["ok"] is True
+    assert body["queue_depth"] == 0
+    assert body["workers"] == 0  # pool not started
+
+    pool.start()
+    assert client.get("/healthz").json()["workers"] == 1
+
+
+def test_stats_exposes_service_counters(client):
+    stats = client.get("/stats").json()
+    assert stats["jobs"] == {"queued": 0, "running": 0, "succeeded": 0,
+                             "failed": 0, "cancelled": 0}
+    for key in ("queue_depth", "cells_executed", "cells_cached",
+                "cache_hit_ratio", "events_simulated", "events_per_sec",
+                "workers", "jobs_run_by_this_process"):
+        assert key in stats
+
+
+@pytest.mark.parametrize("body, message", [
+    ({"experiment": "fig99"}, "unknown experiment"),
+    ({"experiment": "fig06", "bogus": 1}, "unknown request field"),
+    ({"scale": "smoke"}, "experiment"),
+])
+def test_submit_rejects_bad_requests(client, body, message):
+    response = client.post("/jobs", json_body=body)
+    assert response.status == 400
+    assert message in response.json()["error"]
+
+
+def test_submit_rejects_malformed_json(client, store):
+    assert client.request("POST", "/jobs",
+                          json_body=None).status == 400  # empty body
+    assert client.post("/jobs", json_body=[1, 2]).status == 400
+    assert store.list_jobs() == []
+
+
+def test_unknown_routes_and_jobs_are_404(client):
+    assert client.get("/nope").status == 404
+    assert client.get("/jobs/missing").status == 404
+    assert client.get("/jobs/missing/events").status == 404
+    assert client.post("/jobs/missing/cancel").status == 404
+
+
+def test_result_of_unfinished_job_is_409(client):
+    job = client.post("/jobs", json_body=REQUEST_BODY).json()
+    response = client.get(f"/jobs/{job['id']}/result")
+    assert response.status == 409
+    assert response.json()["job"]["state"] == "queued"
+
+
+def test_cancel_endpoint_cancels_queued_job(client):
+    job = client.post("/jobs", json_body=REQUEST_BODY).json()
+    response = client.post(f"/jobs/{job['id']}/cancel")
+    assert response.status == 202
+    assert response.json()["state"] == "cancelled"
+
+
+# ----------------------------------------------------------------------
+# The acceptance path
+# ----------------------------------------------------------------------
+
+def test_submit_poll_result_round_trip(client, pool):
+    submitted = client.post("/jobs", json_body=REQUEST_BODY)
+    assert submitted.status == 202
+    job = submitted.json()
+    assert job["state"] == "queued"
+    assert job["request"]["workloads"] == ["mcf"]
+
+    pool.start()
+    done = _poll_terminal(client, job["id"])
+    assert done["state"] == "succeeded"
+    assert done["done_cells"] == done["total_cells"] == 2
+
+    response = client.get(f"/jobs/{job['id']}/result")
+    assert response.status == 200
+    result = response.json()["result"]
+    assert result["headers"] == ["workload", "norm_ws_dap",
+                                 "norm_read_latency"]
+    assert [row[0] for row in result["rows"]] == ["mcf", "GMEAN"]
+
+    listed = client.get("/jobs?state=succeeded").json()["jobs"]
+    assert job["id"] in [j["id"] for j in listed]
+
+
+def test_sse_replay_has_cell_progress_before_done(client, pool):
+    job = client.post("/jobs", json_body=REQUEST_BODY).json()
+    pool.start()
+    _poll_terminal(client, job["id"])
+
+    # A finished job's stream replays every persisted event, then the
+    # terminal frame — same sequence a live subscriber saw.
+    response = client.get(f"/jobs/{job['id']}/events")
+    assert response.status == 200
+    assert response.headers["content-type"] == "text/event-stream"
+    events = parse_sse(response.text)
+
+    kinds = [e["data"].get("t") for e in events[:-1]]
+    assert kinds.count("cell") == 2
+    assert events[-1].get("event") == "done"
+    assert events[-1]["data"]["state"] == "succeeded"
+    # ... and at least one progress event precedes completion.
+    states = [e["data"].get("state") for e in events]
+    assert kinds.index("cell") < states.index("succeeded")
+
+    # Resumable: replay from the last cell event's id onward.
+    last_cell_id = [e["id"] for e in events
+                    if e["data"].get("t") == "cell"][-1]
+    tail = parse_sse(client.get(
+        f"/jobs/{job['id']}/events",
+        headers={"Last-Event-ID": last_cell_id}).text)
+    assert all(e["data"].get("t") != "cell"
+               for e in tail if "id" in e)
+
+
+def test_live_sse_streams_progress_while_job_runs(client, pool,
+                                                  shared_cache_dir):
+    api.run_experiment(api.ExperimentRequest.from_dict(REQUEST_BODY),
+                       cache=shared_cache_dir)  # warm: stream stays fast
+    job = client.post("/jobs", json_body=REQUEST_BODY).json()
+    with client.stream(f"/jobs/{job['id']}/events", timeout=120) as stream:
+        pool.start()  # the subscriber is watching before work begins
+        events = stream.collect(timeout=120)
+
+    assert events[-1].get("event") == "done"
+    assert events[-1]["data"]["terminal"] is True
+    cell_events = [e for e in events if e["data"].get("t") == "cell"]
+    assert cell_events, "no progress event arrived before completion"
+    assert cell_events[-1]["data"]["done"] == 2
+
+
+def test_second_identical_submission_is_served_from_cache(client, pool):
+    pool.start()
+    first = client.post("/jobs", json_body=REQUEST_BODY).json()
+    _poll_terminal(client, first["id"])
+
+    second = client.post("/jobs", json_body=REQUEST_BODY).json()
+    assert second["fingerprint"] == first["fingerprint"]
+    done = _poll_terminal(client, second["id"])
+    assert done["state"] == "succeeded"
+    assert done["executed_cells"] == 0  # zero new simulation
+    assert done["cached_cells"] == 2
+
+    stats = client.get("/stats").json()
+    assert stats["cells_cached"] >= 2
