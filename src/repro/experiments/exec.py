@@ -40,6 +40,12 @@ from repro.experiments.cellcache import (
     alone_ipc_key_parts,
     cell_key,
 )
+from repro.obs.metrics import REGISTRY
+from repro.obs.spans import (
+    current_traceparent,
+    emit_span,
+    set_current_traceparent,
+)
 from repro.obs.telemetry import TelemetryConfig
 from repro.experiments.common import (
     ExperimentResult,
@@ -50,6 +56,26 @@ from repro.experiments.common import (
 )
 from repro.hierarchy.system import SystemConfig
 from repro.workloads.mixes import Mix
+
+
+# Engine-side observability: settled-cell outcomes and execution-time
+# distributions, at *cell* granularity — never inside the simulator's
+# per-event hot path, so simulation state and timing are untouched.
+CELLS_SETTLED = REGISTRY.counter(
+    "repro_cells_total",
+    "Simulation cells settled by the execution engine, by outcome",
+    ("status",))
+CELL_WALL_SECONDS = REGISTRY.histogram(
+    "repro_cell_wall_seconds",
+    "Wall-clock seconds per executed simulation cell")
+
+
+def _observe_cell(label: str, status: str, wall: float) -> None:
+    """Record one unique cell's settlement (metrics + optional span)."""
+    CELLS_SETTLED.labels(status=status).inc()
+    if status == "ok" and wall > 0:
+        CELL_WALL_SECONDS.observe(wall)
+        emit_span(f"cell/{label}", wall, status=status)
 
 
 class CellExecutionError(ReproError):
@@ -271,7 +297,13 @@ def _worker_init(cache_dir: Optional[str]) -> None:
     cellcache.configure_default(cache_dir)
 
 
-def _worker_run(cell: Cell, key: str, cache_dir: Optional[str]):
+def _worker_run(cell: Cell, key: str, cache_dir: Optional[str],
+                traceparent: Optional[str] = None):
+    # Contextvars do not cross process boundaries; re-establish the
+    # submitting request's trace context so run manifests produced in
+    # pool workers stay correlated to it.
+    if traceparent is not None:
+        set_current_traceparent(traceparent)
     cache = CellCache(cache_dir) if cache_dir else None
     return _execute_one(cell, key, cache)
 
@@ -338,12 +370,14 @@ def execute_cells(
             results[cell.label] = cellcache.decode_result(entry["result"])
             stats.cache_hits += 1
             done += 1
+            CELLS_SETTLED.labels(status="cached").inc()
             if on_cell is not None:
                 on_cell(cell.label, "cached", done, total)
         elif entry is not None and entry.get("status") == "error" and not resume:
             errors[cell.label] = f"[recorded failure] {entry.get('error')}"
             stats.replayed_failures += 1
             done += 1
+            CELLS_SETTLED.labels(status="replayed-failure").inc()
             if on_cell is not None:
                 on_cell(cell.label, "replayed-failure", done, total)
         else:
@@ -367,12 +401,14 @@ def execute_cells(
     if unique:
         if jobs > 1 and len(unique) > 1:
             cache_dir = str(cache.root) if cache is not None else None
+            traceparent = current_traceparent()
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(unique)),
                 initializer=_worker_init, initargs=(cache_dir,),
             ) as pool:
                 futures = {
-                    pool.submit(_worker_run, cell, keys[cell.label], cache_dir):
+                    pool.submit(_worker_run, cell, keys[cell.label],
+                                cache_dir, traceparent):
                     cell
                     for cell in unique
                 }
@@ -394,6 +430,7 @@ def execute_cells(
                             f"{type(exc).__name__}: {exc}", 0.0,
                         )
                     outcomes[keys[label]] = (status, payload)
+                    _observe_cell(label, status, wall)
                     if status == "ok":
                         stats.executed += 1
                         if wall > 0:
@@ -416,6 +453,7 @@ def execute_cells(
                 label, status, payload, wall = _execute_one(
                     cell, keys[cell.label], cache)
                 outcomes[keys[label]] = (status, payload)
+                _observe_cell(label, status, wall)
                 if status == "ok":
                     stats.executed += 1
                     if wall > 0:

@@ -22,6 +22,17 @@ simulation state or results.
 Telemetry is strictly opt-in: when no :class:`TelemetryConfig` is
 supplied, no probes are registered and the only per-decision cost in the
 hot path is a single ``is None`` check on the policy's observer slot.
+
+**Service-level** (PR 7): :mod:`repro.obs.metrics` is a dependency-free
+Prometheus-workalike registry (counters/gauges/histograms, text
+exposition, a parser/linter, atomic scrapes); :mod:`repro.obs.spans`
+threads W3C ``traceparent`` correlation from an HTTP submission through
+the queue, worker, engine cells, and run manifests;
+:mod:`repro.obs.logs` is trace-correlated structured logging; and
+:mod:`repro.obs.top` is the ``repro top`` / ``repro metrics`` operator
+CLI.  All of it observes the service *around* the simulator — nothing
+instruments the per-event hot path, and determinism goldens are
+unaffected.
 """
 
 from repro.obs.analysis import (
@@ -46,8 +57,24 @@ from repro.obs.compare import (
     render_comparison,
     render_dir_comparison,
 )
+from repro.obs.logs import configure_logging, get_logger
 from repro.obs.manifest import build_manifest, git_sha
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    lint_exposition,
+    parse_exposition,
+)
 from repro.obs.probes import attach_system_probes
+from repro.obs.spans import (
+    Span,
+    current_traceparent,
+    emit_span,
+    make_traceparent,
+    parse_traceparent,
+    use_span_sink,
+    use_traceparent,
+)
 from repro.obs.telemetry import Series, Telemetry, TelemetryConfig
 from repro.obs.trace import (
     TraceWriter,
@@ -59,7 +86,10 @@ from repro.obs.trace import (
 
 __all__ = [
     "MetricSpec",
+    "MetricsRegistry",
+    "REGISTRY",
     "Series",
+    "Span",
     "Telemetry",
     "TelemetryConfig",
     "TraceAnalysis",
@@ -71,11 +101,19 @@ __all__ = [
     "compare_bench",
     "compare_dirs",
     "compare_runs",
+    "configure_logging",
+    "current_traceparent",
     "diff_manifests",
+    "emit_span",
+    "get_logger",
     "git_sha",
     "iter_trace",
     "latest_bench",
+    "lint_exposition",
     "load_bench",
+    "make_traceparent",
+    "parse_exposition",
+    "parse_traceparent",
     "read_trace",
     "render_comparison",
     "render_csv",
@@ -83,6 +121,8 @@ __all__ = [
     "render_markdown",
     "sparkline",
     "trace_paths",
+    "use_span_sink",
+    "use_traceparent",
     "write_bench",
     "write_manifest",
 ]

@@ -177,6 +177,9 @@ class TraceAnalysis:
     manifest: Optional[dict] = None
     samples: int = 0
     decision_records: int = 0
+    #: Truncated final lines dropped while streaming the trace (a
+    #: crash signature; >0 means the tail of the run is missing).
+    torn_lines: int = 0
 
     # ------------------------------------------------------------------
     def timeline(self, key: str) -> list[Optional[float]]:
@@ -235,6 +238,7 @@ class TraceAnalysis:
                 value = self.manifest.get(key)
                 if isinstance(value, (int, float)):
                     out[key] = float(value)
+        out["torn_lines"] = float(self.torn_lines)
         out["mean_delivered_gbps"] = self.mean_delivered_gbps()
         gap = self.mean_partition_gap()
         if gap is not None:
@@ -317,7 +321,8 @@ def analyze_trace(
         analysis.windows = merged
         stride *= 2
 
-    for record in iter_trace(path):
+    read_stats: dict = {}
+    for record in iter_trace(path, stats=read_stats):
         kind = record.get("t")
         if kind == "meta":
             analysis.label = record.get("label", "")
@@ -386,6 +391,7 @@ def analyze_trace(
                     credit_zero[name] = credit_zero.get(name, 0) + 1
 
     flush_pending()
+    analysis.torn_lines = int(read_stats.get("torn_lines", 0))
     for window in analysis.windows:
         _derive(window, analysis.sources, analysis.bandwidths, optimal)
     analysis.credits = {
@@ -450,6 +456,11 @@ def render_markdown(analysis: TraceAnalysis, width: int = 60) -> str:
         f"- {analysis.samples} probe samples every "
         f"{analysis.probe_interval} cycles -> {len(analysis.windows)} "
         f"analysis windows; {analysis.decision_records} decision events")
+    if analysis.torn_lines:
+        lines.append(
+            f"- **WARNING:** {analysis.torn_lines} torn final line(s) "
+            "dropped — the run was interrupted mid-write and the tail "
+            "of this trace is missing")
     lines.append("")
 
     lines.append("## Access partitioning (Eq. 2/3)")

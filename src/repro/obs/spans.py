@@ -1,0 +1,194 @@
+"""End-to-end trace correlation: W3C ``traceparent`` plumbing + spans.
+
+One submission to the service produces work in many places — an HTTP
+handler, a queue row, a worker thread, engine cells, JSONL decision
+traces.  This module threads a single **trace id** through all of them:
+
+- :func:`make_traceparent` / :func:`parse_traceparent` implement the
+  W3C Trace Context header shape ``00-<32 hex trace id>-<16 hex span
+  id>-<2 hex flags>`` (the only version we emit is ``00``);
+- a ``contextvars`` context carries the *current* traceparent down the
+  call stack (:func:`use_traceparent`, :func:`current_traceparent`), so
+  the run-manifest writer and the structured-log formatter can stamp it
+  without any signature changes along the way;
+- :func:`child_traceparent` mints a new span id under the same trace
+  id, so per-cell spans stay correlated to their request;
+- :func:`emit_span` publishes one finished :class:`Span` to whatever
+  sinks the current context registered (:func:`use_span_sink`) — the
+  service worker forwards them to the job's SSE stream.
+
+Ids come from ``os.urandom``, **never** from the simulator's seeded
+``random.Random`` streams: tracing must not perturb any deterministic
+reference stream (the determinism golden enforces this).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import re
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "child_traceparent",
+    "current_traceparent",
+    "emit_span",
+    "make_traceparent",
+    "parse_traceparent",
+    "span",
+    "trace_id_of",
+    "use_span_sink",
+    "use_traceparent",
+]
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$")
+
+_current: ContextVar[Optional[str]] = ContextVar(
+    "repro_traceparent", default=None)
+_sinks: ContextVar[tuple] = ContextVar("repro_span_sinks", default=())
+
+
+def make_traceparent() -> str:
+    """A fresh sampled traceparent (new trace id, new root span id)."""
+    return (f"00-{os.urandom(16).hex()}-{os.urandom(8).hex()}-01")
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[dict]:
+    """``{"version", "trace_id", "span_id", "flags"}``, or None.
+
+    Rejects the all-zero trace/span ids the W3C spec forbids, so a
+    client sending a placeholder gets a server-generated id instead.
+    """
+    if not value:
+        return None
+    match = _TRACEPARENT_RE.match(value.strip().lower())
+    if not match:
+        return None
+    parts = match.groupdict()
+    if parts["trace_id"] == "0" * 32 or parts["span_id"] == "0" * 16:
+        return None
+    if parts["version"] == "ff":
+        return None
+    return parts
+
+
+def trace_id_of(value: Optional[str]) -> Optional[str]:
+    """Just the 32-hex trace id, or None for malformed input."""
+    parsed = parse_traceparent(value)
+    return parsed["trace_id"] if parsed else None
+
+
+def child_traceparent(parent: str) -> str:
+    """A new span id under the parent's trace id (same flags)."""
+    parsed = parse_traceparent(parent)
+    if parsed is None:
+        return make_traceparent()
+    return (f"00-{parsed['trace_id']}-{os.urandom(8).hex()}"
+            f"-{parsed['flags']}")
+
+
+# ----------------------------------------------------------------------
+# Context propagation
+# ----------------------------------------------------------------------
+
+def current_traceparent() -> Optional[str]:
+    """The traceparent of the active request context, if any."""
+    return _current.get()
+
+
+def set_current_traceparent(value: Optional[str]):
+    """Low-level setter; prefer :func:`use_traceparent`.  Returns the
+    reset token (used to propagate into pool worker processes, where
+    there is no enclosing ``with`` scope)."""
+    return _current.set(value)
+
+
+@contextlib.contextmanager
+def use_traceparent(value: Optional[str]) -> Iterator[Optional[str]]:
+    """Scope the current traceparent to a ``with`` block."""
+    token = _current.set(value)
+    try:
+        yield value
+    finally:
+        _current.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+@dataclass
+class Span:
+    """One timed, named unit of work inside a trace."""
+
+    name: str
+    traceparent: Optional[str] = None
+    start: float = 0.0
+    wall_seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "traceparent": self.traceparent,
+            "trace_id": trace_id_of(self.traceparent),
+            "wall_seconds": round(self.wall_seconds, 6),
+            **({"attrs": self.attrs} if self.attrs else {}),
+        }
+
+
+@contextlib.contextmanager
+def use_span_sink(sink: Callable[[Span], None]) -> Iterator[None]:
+    """Register a span consumer for the current context."""
+    token = _sinks.set(_sinks.get() + (sink,))
+    try:
+        yield
+    finally:
+        _sinks.reset(token)
+
+
+def emit_span(name: str, wall_seconds: float, **attrs) -> Optional[Span]:
+    """Publish one finished span to the context's sinks.
+
+    No-op (returns None) outside a trace context *and* with no sinks —
+    which is every direct, untraced run, so the engine can call this
+    unconditionally at cell granularity.
+    """
+    parent = _current.get()
+    sinks = _sinks.get()
+    if parent is None and not sinks:
+        return None
+    finished = Span(
+        name=name,
+        traceparent=child_traceparent(parent) if parent else None,
+        start=time.time() - wall_seconds,
+        wall_seconds=wall_seconds,
+        attrs=dict(attrs),
+    )
+    for sink in sinks:
+        try:
+            sink(finished)
+        except Exception:  # noqa: BLE001 — observability must not break work
+            pass
+    return finished
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs) -> Iterator[Span]:
+    """Time a block and emit it as a span on exit."""
+    start = time.perf_counter()
+    live = Span(name=name, traceparent=None, start=time.time(),
+                attrs=dict(attrs))
+    try:
+        yield live
+    finally:
+        live.wall_seconds = time.perf_counter() - start
+        emitted = emit_span(name, live.wall_seconds, **live.attrs)
+        if emitted is not None:
+            live.traceparent = emitted.traceparent

@@ -13,9 +13,23 @@ Routes::
     GET  /jobs/<id>/result   rendered result table           -> 200 / 409
     GET  /jobs/<id>/events   progress stream                 -> 200 SSE
     POST /jobs/<id>/cancel   cancel queued/running job       -> 202 JobStatus
-    GET  /healthz            liveness + worker count         -> 200
+    GET  /healthz            combined health (back-compat)   -> 200
+    GET  /healthz/live       liveness: process is serving    -> 200
+    GET  /healthz/ready      readiness: can accept work      -> 200 / 503
+    GET  /metrics            Prometheus text exposition      -> 200
     GET  /stats              queue depth, cache-hit ratio,
-                             events/sec                      -> 200
+                             events/sec, service counters    -> 200
+
+Every request passes through a small middleware in :meth:`ServiceApp.
+__call__` that tracks in-flight count, per-route request totals and a
+latency histogram (routes are *templates* — ``/jobs/{id}`` — so metric
+cardinality stays bounded no matter how many jobs exist).
+
+``POST /jobs`` participates in W3C Trace Context: a valid incoming
+``traceparent`` header is adopted, anything else gets a freshly minted
+one; either way the id is persisted on the job row, echoed as a
+response header, injected into every SSE frame, and carried by the
+worker into logs, cell spans, and run manifests.
 
 The SSE stream replays the job's persisted progress events from
 ``?after=<seq>`` (or the ``Last-Event-ID`` header), then keeps polling
@@ -28,11 +42,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Optional
 from urllib.parse import parse_qs
 
 from repro.api import ExperimentRequest
 from repro.errors import ConfigError, ReproError
+from repro.obs.metrics import REGISTRY
+from repro.obs.spans import make_traceparent, parse_traceparent
 from repro.service.jobstore import JobNotFound, JobStore
 
 #: How often the SSE loop polls the store for new events (seconds).
@@ -46,6 +63,64 @@ SSE_HEADERS = [
     (b"cache-control", b"no-cache"),
     (b"connection", b"keep-alive"),
 ]
+METRICS_CONTENT_TYPE = b"text/plain; version=0.0.4; charset=utf-8"
+
+#: Sub-second buckets: HTTP handling is store queries, not simulation.
+_HTTP_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                 1.0, 2.5, 5.0, 10.0)
+
+HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route template, and status",
+    ("method", "route", "status"))
+HTTP_LATENCY = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by method and route template",
+    ("method", "route"), buckets=_HTTP_BUCKETS)
+HTTP_IN_FLIGHT = REGISTRY.gauge(
+    "repro_http_requests_in_flight",
+    "HTTP requests currently being handled")
+SSE_STREAMS = REGISTRY.gauge(
+    "repro_sse_streams_active",
+    "Server-sent-event streams currently open")
+SSE_FRAMES = REGISTRY.counter(
+    "repro_sse_frames_total",
+    "Server-sent-event data frames written (excludes heartbeats)")
+QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_queue_depth", "Jobs currently queued (refreshed on scrape)")
+JOBS_BY_STATE = REGISTRY.gauge(
+    "repro_jobs_by_state",
+    "Jobs in the store by lifecycle state (refreshed on scrape)",
+    ("state",))
+WORKERS_ALIVE = REGISTRY.gauge(
+    "repro_workers_alive", "Live worker threads in this service process")
+
+#: Known route templates, so unmatched paths collapse into one label.
+_ROUTES = {
+    "/", "/healthz", "/healthz/live", "/healthz/ready",
+    "/metrics", "/stats", "/jobs",
+}
+_JOB_VERBS = {"result", "events", "cancel"}
+
+
+def route_template(path: str) -> str:
+    """Collapse a concrete path to its bounded-cardinality template."""
+    if path in _ROUTES:
+        return path
+    if path.startswith("/jobs/"):
+        parts = path.split("/")[2:]
+        if len(parts) == 1:
+            return "/jobs/{id}"
+        if len(parts) == 2 and parts[1] in _JOB_VERBS:
+            return "/jobs/{id}/" + parts[1]
+    return "(unmatched)"
+
+
+def _header(scope, name: bytes) -> Optional[str]:
+    for key, value in scope.get("headers", []):
+        if key == name:
+            return value.decode("latin-1")
+    return None
 
 
 class ServiceApp:
@@ -67,14 +142,34 @@ class ServiceApp:
         method = scope["method"].upper()
         path = scope["path"].rstrip("/") or "/"
         query = parse_qs(scope.get("query_string", b"").decode("latin-1"))
+        route = route_template(path)
+
+        status_box = {"status": None}
+
+        async def instrumented_send(message) -> None:
+            if message["type"] == "http.response.start":
+                status_box["status"] = message["status"]
+            await send(message)
+
+        HTTP_IN_FLIGHT.inc()
+        started = time.perf_counter()
         try:
-            await self._route(method, path, query, scope, receive, send)
-        except JobNotFound as exc:
-            await self._json(send, 404, {"error": str(exc)})
-        except ConfigError as exc:
-            await self._json(send, 400, {"error": str(exc)})
-        except ReproError as exc:
-            await self._json(send, 500, {"error": str(exc)})
+            try:
+                await self._route(method, path, query, scope, receive,
+                                  instrumented_send)
+            except JobNotFound as exc:
+                await self._json(instrumented_send, 404, {"error": str(exc)})
+            except ConfigError as exc:
+                await self._json(instrumented_send, 400, {"error": str(exc)})
+            except ReproError as exc:
+                await self._json(instrumented_send, 500, {"error": str(exc)})
+        finally:
+            HTTP_IN_FLIGHT.dec()
+            elapsed = time.perf_counter() - started
+            status = status_box["status"]
+            HTTP_REQUESTS.labels(method=method, route=route,
+                                 status=str(status or 500)).inc()
+            HTTP_LATENCY.labels(method=method, route=route).observe(elapsed)
 
     async def _lifespan(self, receive, send) -> None:
         while True:
@@ -87,21 +182,32 @@ class ServiceApp:
 
     async def _route(self, method, path, query, scope, receive, send) -> None:
         if path == "/healthz" and method == "GET":
-            await self._json(send, 200, {
-                "ok": True,
-                "queue_depth": self.store.stats()["queue_depth"],
-                "workers": self.pool.alive if self.pool is not None else 0,
-            })
+            # Back-compat combined view: old monitors keep working.
+            await self._json(send, 200, self._health_payload())
+            return
+        if path == "/healthz/live" and method == "GET":
+            # Liveness is just "the event loop answers": no store I/O,
+            # so a wedged database cannot make an orchestrator restart
+            # an otherwise-healthy process.
+            await self._json(send, 200, {"ok": True})
+            return
+        if path == "/healthz/ready" and method == "GET":
+            payload = self._health_payload()
+            await self._json(send, 200 if payload["ok"] else 503, payload)
+            return
+        if path == "/metrics" and method == "GET":
+            await self._metrics(send)
             return
         if path == "/stats" and method == "GET":
             stats = self.store.stats()
             if self.pool is not None:
                 stats["workers"] = self.pool.alive
                 stats["jobs_run_by_this_process"] = self.pool.jobs_run
+            stats["counters"] = self._service_counters()
             await self._json(send, 200, stats)
             return
         if path == "/jobs" and method == "POST":
-            await self._submit(receive, send)
+            await self._submit(scope, receive, send)
             return
         if path == "/jobs" and method == "GET":
             state = (query.get("state") or [None])[0]
@@ -132,7 +238,52 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
-    async def _submit(self, receive, send) -> None:
+    def _health_payload(self) -> dict:
+        """Readiness: can this process actually accept and run work?"""
+        stats = self.store.stats()
+        workers = self.pool.alive if self.pool is not None else 0
+        # A pool that was started but whose threads all died is the
+        # one state where accepting jobs would silently strand them.
+        pool_dead = (self.pool is not None
+                     and getattr(self.pool, "_threads", None)
+                     and workers == 0)
+        return {
+            "ok": not pool_dead,
+            "queue_depth": stats["queue_depth"],
+            "workers": workers,
+            "last_orphan_recovery": self.store.last_recovery,
+        }
+
+    def _service_counters(self) -> dict:
+        """Registry-backed counters folded into ``GET /stats``."""
+        value = REGISTRY.value
+        return {
+            "jobs_submitted": value("repro_jobs_submitted_total"),
+            "jobs_deduped": value("repro_jobs_deduped_total"),
+            "job_retries": value("repro_job_retries_total"),
+            "orphans_requeued": value("repro_jobs_orphaned_total",
+                                      {"outcome": "requeued"}),
+            "orphans_failed": value("repro_jobs_orphaned_total",
+                                    {"outcome": "failed"}),
+            "torn_trace_lines": value("repro_trace_torn_lines_total"),
+            "sse_frames": value("repro_sse_frames_total"),
+        }
+
+    async def _metrics(self, send) -> None:
+        # Queue/state gauges are *sampled* at scrape time from SQLite
+        # (this app may share the store with other processes), then the
+        # registry renders one atomic snapshot.
+        stats = self.store.stats()
+        QUEUE_DEPTH.set(stats["queue_depth"])
+        for state, count in stats["jobs"].items():
+            JOBS_BY_STATE.labels(state=state).set(count)
+        WORKERS_ALIVE.set(self.pool.alive if self.pool is not None else 0)
+        body = REGISTRY.render().encode("utf-8")
+        await send({"type": "http.response.start", "status": 200,
+                    "headers": [(b"content-type", METRICS_CONTENT_TYPE)]})
+        await send({"type": "http.response.body", "body": body})
+
+    async def _submit(self, scope, receive, send) -> None:
         body = await self._read_body(receive)
         try:
             data = json.loads(body or b"{}")
@@ -145,8 +296,14 @@ class ServiceApp:
             return
         request = ExperimentRequest.from_dict(data)
         request.validate()
-        job = self.store.submit(request)
-        await self._json(send, 202, job.to_dict())
+        incoming = _header(scope, b"traceparent")
+        traceparent = (incoming if parse_traceparent(incoming)
+                       else make_traceparent())
+        job = self.store.submit(request, traceparent=traceparent)
+        headers = list(JSON_HEADERS)
+        headers.append((b"traceparent",
+                        (job.traceparent or traceparent).encode("latin-1")))
+        await self._json(send, 202, job.to_dict(), headers=headers)
 
     async def _result(self, send, job_id: str) -> None:
         job = self.store.get(job_id)
@@ -162,7 +319,8 @@ class ServiceApp:
         })
 
     async def _events(self, scope, query, send, job_id: str) -> None:
-        self.store.get(job_id)  # 404 before the stream starts
+        job = self.store.get(job_id)  # 404 before the stream starts
+        traceparent = job.traceparent
         after = int((query.get("after") or ["0"])[0])
         for name, value in scope.get("headers", []):
             if name == b"last-event-id":
@@ -175,16 +333,21 @@ class ServiceApp:
                     "headers": list(SSE_HEADERS)})
         last_sent = 0.0
         loop = asyncio.get_event_loop()
+        SSE_STREAMS.inc()
         try:
             while True:
                 events = self.store.events_since(job_id, after)
                 for seq, payload in events:
                     after = seq
+                    if traceparent:
+                        payload = dict(payload)
+                        payload.setdefault("traceparent", traceparent)
                     frame = (f"id: {seq}\n"
                              f"data: {json.dumps(payload)}\n\n")
                     await send({"type": "http.response.body",
                                 "body": frame.encode("utf-8"),
                                 "more_body": True})
+                    SSE_FRAMES.inc()
                     last_sent = loop.time()
                 job = self.store.get(job_id)
                 if job.terminal and not self.store.events_since(job_id, after):
@@ -193,6 +356,7 @@ class ServiceApp:
                     await send({"type": "http.response.body",
                                 "body": done.encode("utf-8"),
                                 "more_body": False})
+                    SSE_FRAMES.inc()
                     return
                 if loop.time() - last_sent > SSE_HEARTBEAT_SECONDS:
                     await send({"type": "http.response.body",
@@ -202,6 +366,8 @@ class ServiceApp:
                 await asyncio.sleep(poll)
         except (asyncio.CancelledError, ConnectionError):
             return  # client went away; nothing to clean up
+        finally:
+            SSE_STREAMS.dec()
 
     # ------------------------------------------------------------------
     # Helpers

@@ -29,9 +29,25 @@ from typing import Iterator, Optional, Union
 
 from repro.api import ExperimentRequest, JobStatus
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY
 
 #: Default retry backoff: ``base * 2**(attempt-1)`` seconds.
 DEFAULT_BACKOFF_BASE = 0.5
+
+# Queue observability (process-global; the /metrics scrape adds live
+# queue-depth/state gauges on top of these event counters).
+JOBS_SUBMITTED = REGISTRY.counter(
+    "repro_jobs_submitted_total", "Jobs accepted onto the queue")
+CLAIM_LATENCY = REGISTRY.histogram(
+    "repro_claim_latency_seconds",
+    "Seconds between a job becoming runnable and a worker claiming it")
+JOB_RETRIES = REGISTRY.counter(
+    "repro_job_retries_total",
+    "Failed attempts re-enqueued with backoff")
+ORPHANS_RECOVERED = REGISTRY.counter(
+    "repro_jobs_orphaned_total",
+    "Jobs found 'running' under a dead worker, by recovery outcome",
+    ("outcome",))
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -55,7 +71,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     executed_cells   INTEGER NOT NULL DEFAULT 0,
     cached_cells     INTEGER NOT NULL DEFAULT 0,
     events_simulated INTEGER NOT NULL DEFAULT 0,
-    sim_wall_seconds REAL NOT NULL DEFAULT 0
+    sim_wall_seconds REAL NOT NULL DEFAULT 0,
+    traceparent      TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_claimable
     ON jobs (state, not_before, submitted_at);
@@ -80,10 +97,19 @@ class JobStore:
                  backoff_base: float = DEFAULT_BACKOFF_BASE) -> None:
         self.path = Path(path)
         self.backoff_base = backoff_base
+        #: Result of the most recent :meth:`recover_orphans` pass (the
+        #: readiness endpoint reports it); None until one has run.
+        self.last_recovery: Optional[dict] = None
         if self.path.parent != Path("."):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._db() as conn:
             conn.executescript(_SCHEMA)
+            # Migration for stores created before request tracing: the
+            # jobs row gained a traceparent column.
+            cols = {row["name"] for row in
+                    conn.execute("PRAGMA table_info(jobs)")}
+            if "traceparent" not in cols:
+                conn.execute("ALTER TABLE jobs ADD COLUMN traceparent TEXT")
 
     @contextmanager
     def _db(self) -> Iterator[sqlite3.Connection]:
@@ -105,20 +131,27 @@ class JobStore:
     # ------------------------------------------------------------------
     # Submission and lifecycle
     # ------------------------------------------------------------------
-    def submit(self, request: ExperimentRequest) -> JobStatus:
-        """Enqueue one request; returns the queued job's status."""
+    def submit(self, request: ExperimentRequest,
+               traceparent: Optional[str] = None) -> JobStatus:
+        """Enqueue one request; returns the queued job's status.
+
+        ``traceparent`` (a W3C trace-context header value) is persisted
+        on the job row, so the submitting request's trace id follows
+        the job through workers, traces, and progress streams.
+        """
         request.validate()
         job_id = uuid.uuid4().hex
         now = time.time()
         with self._db() as conn:
             conn.execute(
                 "INSERT INTO jobs (id, fingerprint, request, state,"
-                " max_attempts, timeout_seconds, submitted_at)"
-                " VALUES (?, ?, ?, 'queued', ?, ?, ?)",
+                " max_attempts, timeout_seconds, submitted_at, traceparent)"
+                " VALUES (?, ?, ?, 'queued', ?, ?, ?, ?)",
                 (job_id, request.fingerprint(),
                  json.dumps(request.to_dict()), request.max_attempts,
-                 request.timeout_seconds, now),
+                 request.timeout_seconds, now, traceparent),
             )
+        JOBS_SUBMITTED.inc()
         self.add_event(job_id, {"t": "state", "state": "queued"})
         return self.get(job_id)
 
@@ -132,7 +165,8 @@ class JobStore:
         with self._db() as conn:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute(
-                "SELECT id FROM jobs WHERE state = 'queued'"
+                "SELECT id, submitted_at, not_before FROM jobs"
+                " WHERE state = 'queued'"
                 " AND not_before <= ? ORDER BY submitted_at LIMIT 1",
                 (now,),
             ).fetchone()
@@ -146,6 +180,11 @@ class JobStore:
                 (worker, now, row["id"]),
             )
             conn.execute("COMMIT")
+        # Claim latency: runnable (submission, or a retry's backoff
+        # expiry) -> claimed.  The queue-health signal for scaling out.
+        runnable_at = max(float(row["submitted_at"]),
+                          float(row["not_before"]))
+        CLAIM_LATENCY.observe(max(0.0, now - runnable_at))
         self.add_event(row["id"], {"t": "state", "state": "running",
                                    "worker": worker})
         return self.get(row["id"])
@@ -196,6 +235,8 @@ class JobStore:
                     (error, now, job_id),
                 )
         state = "queued" if retry else "failed"
+        if retry:
+            JOB_RETRIES.inc()
         event = {"t": "state", "state": state, "error": error,
                  "attempt": job.attempts}
         if retry:
@@ -299,6 +340,11 @@ class JobStore:
         for job_id in failed:
             self.add_event(job_id, {"t": "state", "state": "failed",
                                     "recovered": False})
+        ORPHANS_RECOVERED.labels(outcome="requeued").inc(len(recovered))
+        ORPHANS_RECOVERED.labels(outcome="failed").inc(len(failed))
+        self.last_recovery = {"at": time.time(),
+                              "requeued": len(recovered),
+                              "failed": len(failed)}
         return recovered
 
     # ------------------------------------------------------------------
@@ -360,6 +406,7 @@ class JobStore:
             total_cells=row["total_cells"],
             executed_cells=row["executed_cells"],
             cached_cells=row["cached_cells"],
+            traceparent=row["traceparent"],
         )
 
     def get(self, job_id: str) -> JobStatus:

@@ -41,7 +41,10 @@ from repro.api import (
 )
 from repro.errors import ReproError
 from repro.experiments.cellcache import CellCache
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.obs.progress import TraceTailer
+from repro.obs.spans import use_span_sink, use_traceparent
 from repro.service.jobstore import JobStore
 
 #: How long an idle worker sleeps between claim attempts.
@@ -50,6 +53,23 @@ DEFAULT_POLL_SECONDS = 0.1
 CANCEL_POLL_SECONDS = 0.25
 #: Keep every Nth telemetry sample when forwarding to the SSE feed.
 SSE_SAMPLE_STRIDE = 10
+
+log = get_logger("repro.service.worker")
+
+JOBS_SETTLED = REGISTRY.counter(
+    "repro_jobs_total",
+    "Jobs settled by this process's worker pool, by outcome",
+    ("outcome",))
+JOBS_DEDUPED = REGISTRY.counter(
+    "repro_jobs_deduped_total",
+    "Succeeded jobs served entirely from the cell cache "
+    "(zero executed cells)")
+JOB_SECONDS = REGISTRY.histogram(
+    "repro_job_seconds", "Wall-clock seconds per job execution attempt")
+WORKER_CELLS = REGISTRY.counter(
+    "repro_worker_cells_total",
+    "Cells settled under service jobs, by engine status",
+    ("status",))
 
 
 class _JobRun:
@@ -83,12 +103,17 @@ class _JobRun:
 
     def on_cell(self, label: str, status: str, done: int, total: int) -> None:
         """The engine's progress hook: one event per settled cell."""
+        WORKER_CELLS.labels(status=status).inc()
         self.store.set_progress(self.job.id, done, total)
         self.store.add_event(self.job.id, {
             "t": "cell", "label": label, "status": status,
             "done": done, "total": total,
         })
         self.pump_telemetry()
+
+    def on_span(self, finished) -> None:
+        """Span sink: per-cell timing spans join the job's SSE feed."""
+        self.store.add_event(self.job.id, {"t": "span", **finished.to_dict()})
 
     def pump_telemetry(self) -> None:
         """Forward new telemetry JSONL records to the SSE feed."""
@@ -175,8 +200,23 @@ class WorkerPool:
         return os.path.join(self.trace_root, job.id)
 
     def _run_job(self, worker_name: str, job: JobStatus) -> None:
+        # The job's submission-time traceparent becomes the worker
+        # thread's trace context: manifests, cell spans, and every log
+        # record below carry the same trace id the client holds.
+        started = time.perf_counter()
         run = _JobRun(self.store, job, self._stop,
                       self._trace_dir_for(job))
+        with use_traceparent(job.traceparent), use_span_sink(run.on_span):
+            outcome = self._execute(worker_name, job, run)
+        JOBS_SETTLED.labels(outcome=outcome).inc()
+        JOB_SECONDS.observe(time.perf_counter() - started)
+
+    def _execute(self, worker_name: str, job: JobStatus,
+                 run: _JobRun) -> str:
+        """One execution attempt; returns the settled outcome label."""
+        log.info("job %s claimed by %s (%s)", job.id, worker_name,
+                 job.request.experiment,
+                 extra={"job_id": job.id, "worker": worker_name})
         try:
             result = run_experiment(
                 job.request,
@@ -187,24 +227,45 @@ class WorkerPool:
             )
         except CellExecutionCancelled as exc:
             run.pump_telemetry()
+            log.info("job %s stopped: %s", job.id, exc.reason,
+                     extra={"job_id": job.id})
             if exc.reason == "shutdown":
                 # Drained mid-job: completed cells are cached, so the
                 # next claimer resumes instead of re-simulating.
                 self.store.release(job.id)
-            elif exc.reason == "cancelled":
+                return "released"
+            if exc.reason == "cancelled":
                 self.store.mark_cancelled(job.id)
-            else:  # timeout (or a future reason): retryable failure
-                self.store.fail(job.id, f"stopped: {exc.reason} ({exc})",
-                                retryable=True)
-            return
+                return "cancelled"
+            # timeout (or a future reason): retryable failure
+            self.store.fail(job.id, f"stopped: {exc.reason} ({exc})",
+                            retryable=True)
+            return "timeout"
         except ReproError as exc:
             run.pump_telemetry()
+            log.warning("job %s failed: %s: %s", job.id,
+                        type(exc).__name__, exc,
+                        extra={"job_id": job.id})
             self.store.fail(job.id, f"{type(exc).__name__}: {exc}",
                             retryable=True)
-            return
+            return "failed"
         except Exception as exc:  # noqa: BLE001 — worker must survive jobs
+            log.error("job %s crashed: %s: %s", job.id,
+                      type(exc).__name__, exc,
+                      extra={"job_id": job.id})
             self.store.fail(job.id, f"unexpected {type(exc).__name__}: {exc}",
                             retryable=True)
-            return
+            return "failed"
         run.pump_telemetry()
+        stats = result.stats
+        if (stats is not None and stats.executed == 0
+                and stats.cache_hits > 0):
+            # Every cell came from the content-addressed cache: this
+            # submission was a pure dedupe hit (CI asserts on this).
+            JOBS_DEDUPED.inc()
         self.store.complete(job.id, result_to_dict(result))
+        log.info("job %s succeeded (%d executed, %d cached)", job.id,
+                 stats.executed if stats else 0,
+                 stats.cache_hits if stats else 0,
+                 extra={"job_id": job.id})
+        return "succeeded"

@@ -11,7 +11,9 @@ import time
 import pytest
 
 from repro import api
-from repro.service.app import ServiceApp
+from repro.obs.metrics import parse_exposition
+from repro.obs.spans import make_traceparent, parse_traceparent
+from repro.service.app import ServiceApp, route_template
 from repro.service.jobstore import JobStore
 from repro.service.testing import TestClient, parse_sse
 from repro.service.worker import WorkerPool
@@ -66,6 +68,51 @@ def test_healthz_reports_queue_and_workers(client, pool):
     assert client.get("/healthz").json()["workers"] == 1
 
 
+def test_healthz_liveness_and_readiness_split(client, pool):
+    live = client.get("/healthz/live")
+    assert live.status == 200
+    assert live.json() == {"ok": True}
+
+    ready = client.get("/healthz/ready")
+    assert ready.status == 200  # pool never started: nothing is dead
+    body = ready.json()
+    assert body["ok"] is True
+    assert body["queue_depth"] == 0
+    assert body["workers"] == 0
+    assert "last_orphan_recovery" in body
+
+    pool.start()
+    assert client.get("/healthz/ready").json()["workers"] == 1
+
+
+def test_readiness_503_when_started_pool_has_no_live_workers(client, pool):
+    pool.start()
+    assert client.get("/healthz/ready").status == 200
+    # Simulate every worker thread dying without the pool noticing.
+    pool._stop.set()
+    for thread in pool._threads:
+        thread.join(timeout=30)
+    response = client.get("/healthz/ready")
+    assert response.status == 503
+    assert response.json()["ok"] is False
+    # Liveness is unaffected: the process still answers.
+    assert client.get("/healthz/live").status == 200
+
+
+def test_readiness_reports_orphan_recovery(tmp_path, shared_cache_dir):
+    store = JobStore(tmp_path / "jobs.sqlite3")
+    job = store.submit(api.ExperimentRequest(experiment="fig06",
+                                             scale="smoke",
+                                             workloads=("mcf",)))
+    assert store.claim("dead-worker").id == job.id
+    store.recover_orphans()
+    client = TestClient(ServiceApp(store))
+    recovery = client.get("/healthz/ready").json()["last_orphan_recovery"]
+    assert recovery["requeued"] == 1
+    assert recovery["failed"] == 0
+    assert recovery["at"] > 0
+
+
 def test_stats_exposes_service_counters(client):
     stats = client.get("/stats").json()
     assert stats["jobs"] == {"queued": 0, "running": 0, "succeeded": 0,
@@ -74,6 +121,100 @@ def test_stats_exposes_service_counters(client):
                 "cache_hit_ratio", "events_simulated", "events_per_sec",
                 "workers", "jobs_run_by_this_process"):
         assert key in stats
+    for key in ("jobs_submitted", "jobs_deduped", "job_retries",
+                "orphans_requeued", "orphans_failed", "torn_trace_lines",
+                "sse_frames"):
+        assert key in stats["counters"]
+
+
+# ----------------------------------------------------------------------
+# /metrics and request instrumentation
+# ----------------------------------------------------------------------
+
+def test_metrics_endpoint_serves_valid_exposition(client):
+    client.get("/stats")  # guarantee at least one instrumented request
+    response = client.get("/metrics")
+    assert response.status == 200
+    assert response.headers["content-type"].startswith(
+        "text/plain; version=0.0.4")
+    samples = parse_exposition(response.text)  # raises if malformed
+    names = {s.name for s in samples}
+    assert "repro_http_requests_total" in names
+    assert "repro_queue_depth" in names
+    assert "repro_http_request_seconds_bucket" in names
+
+
+def test_http_middleware_counts_by_route_template(client):
+    def requests_for(route, **labels):
+        return sum(
+            s.value for s in parse_exposition(client.get("/metrics").text)
+            if s.name == "repro_http_requests_total"
+            and s.labels.get("route") == route
+            and all(s.labels.get(k) == v for k, v in labels.items()))
+
+    before = requests_for("/jobs/{id}", status="404")
+    client.get("/jobs/no-such-job")
+    client.get("/jobs/also-missing")
+    assert requests_for("/jobs/{id}", status="404") == before + 2
+    # Unknown paths collapse into one label value: bounded cardinality.
+    unmatched = requests_for("(unmatched)")
+    client.get("/totally/unknown/route")
+    assert requests_for("(unmatched)") == unmatched + 1
+
+
+def test_metrics_gauges_track_queue_depth(client):
+    job = client.post("/jobs", json_body=REQUEST_BODY).json()
+    samples = parse_exposition(client.get("/metrics").text)
+    depth = [s.value for s in samples if s.name == "repro_queue_depth"]
+    queued = [s.value for s in samples if s.name == "repro_jobs_by_state"
+              and s.labels.get("state") == "queued"]
+    assert depth == [1.0]
+    assert queued == [1.0]
+    client.post(f"/jobs/{job['id']}/cancel")
+    samples = parse_exposition(client.get("/metrics").text)
+    assert [s.value for s in samples
+            if s.name == "repro_queue_depth"] == [0.0]
+
+
+def test_route_template_bounds_cardinality():
+    assert route_template("/jobs") == "/jobs"
+    assert route_template("/jobs/abc123") == "/jobs/{id}"
+    assert route_template("/jobs/abc123/events") == "/jobs/{id}/events"
+    assert route_template("/jobs/abc123/bogus") == "(unmatched)"
+    assert route_template("/healthz/ready") == "/healthz/ready"
+    assert route_template("/anything/else") == "(unmatched)"
+
+
+# ----------------------------------------------------------------------
+# Trace context at the HTTP edge
+# ----------------------------------------------------------------------
+
+def test_submit_mints_traceparent_when_client_sends_none(client):
+    response = client.post("/jobs", json_body=REQUEST_BODY)
+    assert response.status == 202
+    echoed = response.headers["traceparent"]
+    assert parse_traceparent(echoed) is not None
+    job = response.json()
+    assert job["traceparent"] == echoed
+    # Persisted on the job row: a later GET returns the same id.
+    assert client.get(f"/jobs/{job['id']}").json()["traceparent"] == echoed
+
+
+def test_submit_adopts_valid_client_traceparent(client):
+    mine = make_traceparent()
+    response = client.post("/jobs", json_body=REQUEST_BODY,
+                           headers={"traceparent": mine})
+    assert response.headers["traceparent"] == mine
+    assert response.json()["traceparent"] == mine
+
+
+def test_submit_replaces_invalid_traceparent(client):
+    bogus = "00-" + "0" * 32 + "-" + "0" * 16 + "-01"
+    response = client.post("/jobs", json_body=REQUEST_BODY,
+                           headers={"traceparent": bogus})
+    minted = response.headers["traceparent"]
+    assert minted != bogus
+    assert parse_traceparent(minted) is not None
 
 
 @pytest.mark.parametrize("body, message", [

@@ -1,0 +1,171 @@
+"""End-to-end trace correlation and observation-only guarantees.
+
+The acceptance criteria for the observability layer: one traceparent
+submitted at the HTTP edge must be recoverable at every layer (response
+header, job row, SSE frames, run manifest), the registry's job/cell
+counters must move, and none of it may perturb simulation results —
+a traced service job returns rows bit-identical to a direct run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.obs.metrics import REGISTRY
+from repro.obs.spans import make_traceparent, trace_id_of
+from repro.service.app import ServiceApp
+from repro.service.jobstore import JobStore
+from repro.service.testing import TestClient, parse_sse
+from repro.service.worker import WorkerPool
+
+REQUEST_BODY = {"experiment": "fig06", "scale": "smoke",
+                "workloads": ["mcf"], "trace": True}
+
+
+def _poll_terminal(client, job_id, timeout=240.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        job = client.get(f"/jobs/{job_id}").json()
+        if job["terminal"]:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal after {timeout}s")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs.sqlite3", backoff_base=0.02)
+
+
+def test_one_traceparent_at_all_four_layers(tmp_path, store):
+    """Header -> job row -> SSE frames -> run manifest, one trace id."""
+    trace_root = tmp_path / "traces"
+    pool = WorkerPool(store, workers=1,
+                      cache=api.default_cache(str(tmp_path / "cold-cache")),
+                      trace_root=str(trace_root), poll_seconds=0.02)
+    client = TestClient(ServiceApp(store, pool=pool))
+    mine = make_traceparent()
+
+    submitted = client.post("/jobs", json_body=REQUEST_BODY,
+                            headers={"traceparent": mine})
+    assert submitted.status == 202
+    # Layer 1: the HTTP response echoes the adopted traceparent.
+    assert submitted.headers["traceparent"] == mine
+    job = submitted.json()
+    # Layer 2: persisted on the job row, visible on every status read.
+    assert job["traceparent"] == mine
+    assert client.get(f"/jobs/{job['id']}").json()["traceparent"] == mine
+
+    pool.start()
+    try:
+        done = _poll_terminal(client, job["id"])
+    finally:
+        pool.stop(timeout=240)
+    assert done["state"] == "succeeded"
+    assert done["executed_cells"] == 2  # cold cache: real simulation
+
+    # Layer 3: every SSE data frame carries the submission's id, and
+    # the worker's per-cell spans joined the stream under it too.
+    events = parse_sse(client.get(f"/jobs/{job['id']}/events").text)
+    data_frames = [e for e in events if isinstance(e.get("data"), dict)]
+    assert data_frames
+    # Every frame correlates to the submitted trace; span frames carry
+    # their own child span id under it, the rest carry it verbatim.
+    assert all(trace_id_of(e["data"].get("traceparent"))
+               == trace_id_of(mine) for e in data_frames)
+    assert all(e["data"]["traceparent"] == mine
+               for e in data_frames if e["data"].get("t") == "cell")
+    spans = [e["data"] for e in events if e["data"].get("t") == "span"]
+    assert len(spans) == 2
+    assert all(s["trace_id"] == trace_id_of(mine) for s in spans)
+    assert all(s["name"].startswith("cell/") for s in spans)
+    assert all(s["wall_seconds"] > 0 for s in spans)
+
+    # Layer 4: each executed cell's run manifest records the same id.
+    manifests = sorted((trace_root / job["id"]).glob("*.manifest.json"))
+    assert len(manifests) == 2
+    for path in manifests:
+        manifest = json.loads(Path(path).read_text())
+        assert manifest["traceparent"] == mine
+
+
+def test_traced_job_rows_bit_identical_to_direct_run(tmp_path, store):
+    """Tracing + metrics are observation-only: a fully instrumented
+    service job computes exactly what an uninstrumented direct call
+    does (both cold, independent caches)."""
+    pool = WorkerPool(store, workers=1,
+                      cache=api.default_cache(str(tmp_path / "svc-cache")),
+                      trace_root=str(tmp_path / "traces"),
+                      poll_seconds=0.02)
+    client = TestClient(ServiceApp(store, pool=pool))
+    job = client.post("/jobs", json_body=REQUEST_BODY).json()
+    pool.start()
+    try:
+        done = _poll_terminal(client, job["id"])
+    finally:
+        pool.stop(timeout=240)
+    assert done["state"] == "succeeded"
+    assert done["executed_cells"] == 2
+
+    direct = api.run_experiment(
+        api.ExperimentRequest(experiment="fig06", scale="smoke",
+                              workloads=("mcf",)),
+        cache=str(tmp_path / "direct-cache"))
+    service_result = client.get(f"/jobs/{job['id']}/result").json()["result"]
+    assert service_result["rows"] == [list(r) for r in direct.rows]
+    assert service_result["headers"] == list(direct.headers)
+
+
+def test_direct_runs_never_get_a_manifest_traceparent(tmp_path,
+                                                      shared_cache_dir):
+    """No ambient trace context -> no traceparent key: the manifest
+    shape of direct runs (and determinism goldens) is unchanged."""
+    trace_dir = tmp_path / "direct-traces"
+    api.run_experiment(
+        api.ExperimentRequest(experiment="fig06", scale="smoke",
+                              workloads=("mcf",), trace=True),
+        cache=shared_cache_dir, trace_dir=str(trace_dir))
+    manifests = sorted(trace_dir.glob("*.manifest.json"))
+    for path in manifests:
+        assert "traceparent" not in json.loads(Path(path).read_text())
+
+
+def test_dedupe_and_outcome_counters_move(store, shared_cache_dir):
+    """A fully cache-served submission bumps repro_jobs_deduped_total
+    (the counter CI asserts on) and the succeeded-outcome counter."""
+    request = api.ExperimentRequest(experiment="fig06", scale="smoke",
+                                    workloads=("mcf",))
+    api.run_experiment(request, cache=shared_cache_dir)  # warm the cache
+
+    deduped_before = REGISTRY.value("repro_jobs_deduped_total")
+    succeeded_before = REGISTRY.value("repro_jobs_total",
+                                      {"outcome": "succeeded"})
+    submitted_before = REGISTRY.value("repro_jobs_submitted_total")
+
+    pool = WorkerPool(store, workers=1,
+                      cache=api.default_cache(shared_cache_dir),
+                      poll_seconds=0.02)
+    client = TestClient(ServiceApp(store, pool=pool))
+    job = client.post("/jobs", json_body={"experiment": "fig06",
+                                          "scale": "smoke",
+                                          "workloads": ["mcf"]}).json()
+    pool.start()
+    try:
+        done = _poll_terminal(client, job["id"])
+    finally:
+        pool.stop(timeout=240)
+    assert done["state"] == "succeeded"
+    assert done["executed_cells"] == 0  # pure cache hit
+
+    assert REGISTRY.value("repro_jobs_deduped_total") == deduped_before + 1
+    assert REGISTRY.value("repro_jobs_total",
+                          {"outcome": "succeeded"}) == succeeded_before + 1
+    assert REGISTRY.value("repro_jobs_submitted_total") == \
+        submitted_before + 1
+    assert REGISTRY.value("repro_worker_cells_total",
+                          {"status": "cached"}) >= 2
+    # The store-side claim histogram observed this claim.
+    assert REGISTRY.value("repro_claim_latency_seconds") >= 1

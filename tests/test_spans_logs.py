@@ -1,0 +1,190 @@
+"""W3C traceparent plumbing, span emission, and structured logging."""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.spans import (
+    child_traceparent,
+    current_traceparent,
+    emit_span,
+    make_traceparent,
+    parse_traceparent,
+    span,
+    trace_id_of,
+    use_span_sink,
+    use_traceparent,
+)
+
+# ----------------------------------------------------------------------
+# traceparent shape
+# ----------------------------------------------------------------------
+
+def test_make_traceparent_is_valid_and_unique():
+    first, second = make_traceparent(), make_traceparent()
+    assert first != second
+    parsed = parse_traceparent(first)
+    assert parsed["version"] == "00"
+    assert len(parsed["trace_id"]) == 32
+    assert len(parsed["span_id"]) == 16
+    assert parsed["flags"] == "01"
+
+
+def test_parse_rejects_malformed_and_forbidden_values():
+    assert parse_traceparent(None) is None
+    assert parse_traceparent("") is None
+    assert parse_traceparent("not-a-traceparent") is None
+    assert parse_traceparent("00-" + "0" * 32 + "-" + "a" * 16 + "-01") is None
+    assert parse_traceparent("00-" + "a" * 32 + "-" + "0" * 16 + "-01") is None
+    assert parse_traceparent("ff-" + "a" * 32 + "-" + "b" * 16 + "-01") is None
+    # Uppercase hex is tolerated (normalized to lowercase).
+    upper = "00-" + "A" * 32 + "-" + "B" * 16 + "-01"
+    assert parse_traceparent(upper)["trace_id"] == "a" * 32
+
+
+def test_child_keeps_trace_id_changes_span_id():
+    parent = make_traceparent()
+    child = child_traceparent(parent)
+    assert trace_id_of(child) == trace_id_of(parent)
+    assert parse_traceparent(child)["span_id"] != \
+        parse_traceparent(parent)["span_id"]
+    # A malformed parent degrades to a fresh trace, never an error.
+    assert parse_traceparent(child_traceparent("garbage")) is not None
+
+
+# ----------------------------------------------------------------------
+# context propagation
+# ----------------------------------------------------------------------
+
+def test_use_traceparent_scopes_context():
+    assert current_traceparent() is None
+    tp = make_traceparent()
+    with use_traceparent(tp):
+        assert current_traceparent() == tp
+        with use_traceparent(None):
+            assert current_traceparent() is None
+        assert current_traceparent() == tp
+    assert current_traceparent() is None
+
+
+def test_context_is_per_thread():
+    tp = make_traceparent()
+    seen = {}
+
+    def other():
+        seen["other"] = current_traceparent()
+
+    with use_traceparent(tp):
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+    assert seen["other"] is None  # context does not leak across threads
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+
+def test_emit_span_is_noop_without_context_or_sinks():
+    assert emit_span("cell/x", 0.5) is None
+
+
+def test_emit_span_reaches_sinks_with_child_traceparent():
+    got = []
+    tp = make_traceparent()
+    with use_traceparent(tp), use_span_sink(got.append):
+        finished = emit_span("cell/mcf", 1.5, status="ok")
+    assert finished is not None
+    [seen] = got
+    assert seen.name == "cell/mcf"
+    assert trace_id_of(seen.traceparent) == trace_id_of(tp)
+    assert seen.attrs == {"status": "ok"}
+    data = seen.to_dict()
+    assert data["wall_seconds"] == 1.5
+    assert data["trace_id"] == trace_id_of(tp)
+
+
+def test_span_sink_errors_never_break_the_caller():
+    def bad_sink(_span):
+        raise RuntimeError("sink exploded")
+
+    good = []
+    with use_span_sink(bad_sink), use_span_sink(good.append):
+        emit_span("cell/x", 0.1)
+    assert len(good) == 1
+
+
+def test_span_contextmanager_times_and_emits():
+    got = []
+    with use_span_sink(got.append):
+        with span("phase/solve", kind="test") as live:
+            pass
+    assert got[0].name == "phase/solve"
+    assert got[0].wall_seconds >= 0
+    assert live.wall_seconds == got[0].wall_seconds
+
+
+# ----------------------------------------------------------------------
+# structured logging
+# ----------------------------------------------------------------------
+
+def test_json_logging_carries_traceparent_and_extras():
+    stream = io.StringIO()
+    configure_logging(level="info", json_mode=True, stream=stream)
+    try:
+        tp = make_traceparent()
+        with use_traceparent(tp):
+            get_logger("service.worker").info(
+                "job %s claimed", "abc123", extra={"job_id": "abc123"})
+        record = json.loads(stream.getvalue().strip())
+        assert record["msg"] == "job abc123 claimed"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.service.worker"
+        assert record["traceparent"] == tp
+        assert record["job_id"] == "abc123"
+    finally:
+        logging.getLogger("repro").handlers.clear()
+
+
+def test_text_logging_abbreviates_trace_id():
+    stream = io.StringIO()
+    configure_logging(level="debug", json_mode=False, stream=stream)
+    try:
+        tp = make_traceparent()
+        with use_traceparent(tp):
+            get_logger("repro.test").debug("hello")
+        line = stream.getvalue()
+        assert "hello" in line
+        assert f"[trace {trace_id_of(tp)[:12]}]" in line
+    finally:
+        logging.getLogger("repro").handlers.clear()
+
+
+def test_configure_logging_is_idempotent():
+    stream = io.StringIO()
+    try:
+        configure_logging(level="info", stream=stream)
+        configure_logging(level="info", stream=stream)
+        handlers = [h for h in logging.getLogger("repro").handlers
+                    if getattr(h, "_repro_obs_handler", False)]
+        assert len(handlers) == 1
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+    finally:
+        logging.getLogger("repro").handlers.clear()
+
+
+def test_unconfigured_logging_is_silent(capsys):
+    logging.getLogger("repro").handlers.clear()
+    get_logger("quiet").info("nothing to see")
+    captured = capsys.readouterr()
+    assert "nothing to see" not in captured.err
+
+
+def test_configure_logging_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        configure_logging(level="loud")

@@ -1,0 +1,155 @@
+"""`repro top` and `repro metrics`: sample querying, rendering, exits.
+
+The network edge (`_fetch`) is monkeypatched, so these run without a
+live service; the end-to-end scrape against a real app lives in the
+service endpoint tests.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import top
+from repro.obs.metrics import MetricsRegistry, Sample
+
+EXPOSITION = """\
+# HELP repro_http_requests_total reqs
+# TYPE repro_http_requests_total counter
+repro_http_requests_total{method="GET",route="/stats",status="200"} 5
+repro_http_requests_total{method="POST",route="/jobs",status="202"} 2
+# HELP repro_http_request_seconds latency
+# TYPE repro_http_request_seconds histogram
+repro_http_request_seconds_bucket{le="0.01",method="GET",route="/stats"} 4
+repro_http_request_seconds_bucket{le="+Inf",method="GET",route="/stats"} 5
+repro_http_request_seconds_sum{method="GET",route="/stats"} 0.2
+repro_http_request_seconds_count{method="GET",route="/stats"} 5
+# HELP repro_workers_alive workers
+# TYPE repro_workers_alive gauge
+repro_workers_alive 2
+"""
+
+STATS = {
+    "jobs": {"queued": 1, "running": 0, "succeeded": 3, "failed": 0,
+             "cancelled": 0},
+    "queue_depth": 1,
+    "cells_executed": 4, "cells_cached": 2, "cache_hit_ratio": 0.3333,
+    "events_simulated": 1000, "events_per_sec": 250000.0,
+    "counters": {"jobs_submitted": 4, "jobs_deduped": 1, "job_retries": 0,
+                 "orphans_requeued": 0, "orphans_failed": 0,
+                 "torn_trace_lines": 0, "sse_frames": 12},
+}
+
+
+@pytest.fixture
+def fake_service(monkeypatch):
+    def fetch(url, timeout=5.0):
+        if url.endswith("/metrics"):
+            return EXPOSITION
+        if url.endswith("/stats"):
+            return json.dumps(STATS)
+        raise AssertionError(f"unexpected fetch {url}")
+
+    monkeypatch.setattr(top, "_fetch", fetch)
+
+
+# ----------------------------------------------------------------------
+# Sample querying
+# ----------------------------------------------------------------------
+
+def test_sample_value_sums_matching_labels():
+    samples = [Sample("x", {"a": "1"}, 2.0), Sample("x", {"a": "2"}, 3.0),
+               Sample("y", {}, 9.0)]
+    assert top.sample_value(samples, "x") == 5.0
+    assert top.sample_value(samples, "x", a="1") == 2.0
+    assert top.sample_value(samples, "missing") == 0.0
+
+
+def test_quantile_from_parsed_exposition(fake_service):
+    samples, _ = top.scrape("http://svc")
+    p50 = top.quantile(samples, "repro_http_request_seconds", 0.5,
+                       method="GET", route="/stats")
+    assert p50 is not None and 0 < p50 <= 0.01
+    assert top.quantile(samples, "no_such_histogram", 0.5) is None
+
+
+def test_format_helpers():
+    assert top._fmt_seconds(None) == "-"
+    assert top._fmt_seconds(0.0005) == "500us"
+    assert top._fmt_seconds(0.25) == "250.0ms"
+    assert top._fmt_seconds(3.5) == "3.50s"
+    assert top._fmt_count(1234) == "1.2k"
+    assert top._fmt_count(2_500_000) == "2.50M"
+    assert top._fmt_count(7) == "7"
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def test_render_includes_every_section(fake_service):
+    samples, stats = top.scrape("http://svc")
+    frame = top.render("http://svc", samples, stats, color=False)
+    assert "repro top" in frame
+    assert "queued 1" in frame
+    assert "succeeded 3" in frame
+    assert "alive 2" in frame
+    assert "hit-ratio 33.3%" in frame
+    assert "deduped 1" in frame
+    assert "GET" in frame and "/stats" in frame
+    assert "\x1b[" not in frame  # color=False really is plain
+
+
+def test_render_survives_minimal_stats():
+    frame = top.render("http://svc", [], {}, color=False)
+    assert "repro top" in frame  # no KeyError on missing sections
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def test_top_once_prints_frame(fake_service, capsys):
+    assert top.top_main(["--url", "http://svc", "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "queued 1" in out
+
+
+def test_top_once_fails_cleanly_when_unreachable(monkeypatch, capsys):
+    def refuse(url, timeout=5.0):
+        raise OSError("connection refused")
+
+    monkeypatch.setattr(top, "_fetch", refuse)
+    assert top.top_main(["--url", "http://nowhere", "--once"]) == 1
+    assert "cannot scrape" in capsys.readouterr().err
+
+
+def test_metrics_raw_dump(fake_service, capsys):
+    assert top.metrics_main(["--url", "http://svc"]) == 0
+    assert capsys.readouterr().out == EXPOSITION
+
+
+def test_metrics_snapshot_is_json(fake_service, capsys):
+    assert top.metrics_main(["--url", "http://svc", "--snapshot"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["repro_workers_alive"] == [{"labels": {}, "value": 2.0}]
+    assert len(snap["repro_http_requests_total"]) == 2
+
+
+def test_metrics_lint_passes_valid_and_rejects_broken(monkeypatch, capsys):
+    monkeypatch.setattr(top, "_fetch", lambda url, timeout=5.0: EXPOSITION)
+    assert top.metrics_main(["--lint"]) == 0
+    assert "exposition format valid" in capsys.readouterr().out
+
+    monkeypatch.setattr(top, "_fetch",
+                        lambda url, timeout=5.0: "complete garbage {{{")
+    assert top.metrics_main(["--lint"]) == 1
+    assert "line 1" in capsys.readouterr().err
+
+
+def test_live_registry_render_round_trips_through_top_helpers():
+    registry = MetricsRegistry()
+    registry.histogram("h_seconds", "h", buckets=(1.0, 2.0))
+    registry._families["h_seconds"].observe(1.5)
+    samples = top.parse_exposition(registry.render())
+    assert top.quantile(samples, "h_seconds", 0.5) == pytest.approx(1.5)

@@ -194,6 +194,38 @@ def test_mid_file_corruption_still_raises(tmp_path):
         read_trace(path)
 
 
+def test_torn_final_line_is_counted_not_silent(tmp_path):
+    from repro.obs.metrics import REGISTRY
+
+    path = write_synthetic_trace(tmp_path / "t.trace.jsonl", [
+        (1000, {"cache.gbps": 1.0, "mm.gbps": 1.0}),
+        (2000, {"cache.gbps": 2.0, "mm.gbps": 2.0}),
+    ])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"t": "sample", "cycle": 3000, "values": {"torn')
+
+    # iter_trace surfaces the drop via its stats dict and the registry.
+    counter_before = REGISTRY.value("repro_trace_torn_lines_total")
+    stats: dict = {}
+    assert len(list(iter_trace(path, stats=stats))) == 3
+    assert stats["torn_lines"] == 1
+    assert REGISTRY.value("repro_trace_torn_lines_total") \
+        == counter_before + 1
+
+    # analyze_trace carries it into the report's metrics and markdown.
+    analysis = analyze_trace(path, bandwidths=BW)
+    assert analysis.torn_lines == 1
+    assert analysis.metrics()["torn_lines"] == 1.0
+    assert "torn final line" in render_markdown(analysis)
+
+    # An intact trace reports zero and renders no warning.
+    clean = analyze_trace(write_synthetic_trace(
+        tmp_path / "clean.trace.jsonl",
+        [(1000, {"cache.gbps": 1.0, "mm.gbps": 1.0})]), bandwidths=BW)
+    assert clean.torn_lines == 0
+    assert "torn" not in render_markdown(clean)
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
