@@ -18,6 +18,7 @@ import time
 from repro.api import MixCell, TelemetryConfig, default_cache, run_cells
 from repro.experiments.common import get_scale, scaled_config
 from repro.obs.bench import build_bench_record, write_bench
+from repro.obs.profiler import DEFAULT_HZ, Profile
 from repro.obs.telemetry import DEFAULT_PROBE_INTERVAL
 from repro.workloads.mixes import rate_mix
 
@@ -58,6 +59,12 @@ def main(argv=None):
                              "(default: OUT_DIR/traces)")
     parser.add_argument("--bench", default=None, metavar="FILE",
                         help="write a BENCH performance-trajectory record")
+    parser.add_argument("--profile", action="store_true",
+                        help="sample executed cells' stacks (observation-"
+                             "only; results stay bit-identical)")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="merged collapsed-stack output "
+                             "(default: OUT_DIR/profile.collapsed)")
     args = parser.parse_args(argv)
     trace_dir = args.trace_dir or os.path.join(args.out_dir, "traces")
 
@@ -75,7 +82,8 @@ def main(argv=None):
         for policy in POLICIES
     ]
     t0 = time.time()
-    results, stats = run_cells(cells, jobs=args.jobs, cache=cache)
+    results, stats = run_cells(cells, jobs=args.jobs, cache=cache,
+                               profile_hz=DEFAULT_HZ if args.profile else 0)
     wall = time.time() - t0
 
     for name in args.workloads:
@@ -98,6 +106,21 @@ def main(argv=None):
     if args.trace and stats.executed:
         print(f"[traces written under {trace_dir} — inspect with "
               f"'repro-analyze report {trace_dir}']")
+    if args.profile:
+        merged = Profile()
+        for text in stats.stack_profiles.values():
+            merged.merge(Profile.parse(text))
+        if merged.total_samples:
+            profile_out = args.profile_out or os.path.join(
+                args.out_dir, "profile.collapsed")
+            os.makedirs(os.path.dirname(profile_out) or ".", exist_ok=True)
+            with open(profile_out, "w", encoding="utf-8") as handle:
+                handle.write(merged.collapsed())
+            print(f"[profile written to {profile_out}: "
+                  f"{merged.total_samples} samples — render with "
+                  f"'repro profile flame {profile_out}']")
+        else:
+            print("[profile: no samples — every cell came from the cache]")
     if args.bench:
         record = build_bench_record(
             run_id=f"smoke:{'+'.join(args.workloads)}@{scale.name}",

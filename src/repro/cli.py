@@ -1,6 +1,6 @@
 """``repro`` — the single command-line entry point.
 
-One command, six subcommands, each delegating to the subsystem CLI it
+One command, eight subcommands, each delegating to the subsystem CLI it
 replaces::
 
     repro experiment fig06 --scale smoke     (was: repro-experiment)
@@ -9,6 +9,8 @@ replaces::
     repro serve --port 8321                  (new: the job service)
     repro top --url http://host:8321         (live service dashboard)
     repro metrics --lint                     (scrape/lint /metrics)
+    repro profile run fig06                  (sampling profiler + flamegraphs)
+    repro dash --out dash.html               (offline performance observatory)
 
 Global flags (before the subcommand) configure structured logging for
 every subsystem: ``repro --log-level debug --log-json serve ...``.
@@ -36,6 +38,8 @@ commands:
   serve       run the async job service (POST /jobs, SSE progress)
   top         live terminal dashboard over a running service
   metrics     fetch, snapshot, or lint a service's /metrics scrape
+  profile     capture, diff, and flamegraph sampling profiles
+  dash        render the offline HTML performance observatory
 
 global options:
   --log-level LEVEL   emit repro.* logs at LEVEL (debug/info/warning/...)
@@ -60,6 +64,10 @@ def _command_main(command: str) -> Callable[[Optional[Sequence[str]]], int]:
         from repro.obs.top import top_main as main
     elif command == "metrics":
         from repro.obs.top import metrics_main as main
+    elif command == "profile":
+        from repro.obs.profcli import profile_main as main
+    elif command == "dash":
+        from repro.obs.dash import dash_main as main
     else:
         raise KeyError(command)
     return main

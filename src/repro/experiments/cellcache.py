@@ -173,6 +173,10 @@ class ExecStats:
     replayed_failures: int = 0  # cached failures reported without retrying
     failures: list[CellFailure] = field(default_factory=list)
     profile: list[CellProfile] = field(default_factory=list)
+    #: Collapsed-stack sampling profiles by cell label, present only for
+    #: cells executed this invocation with profiling enabled
+    #: (``--profile`` / ``profile_hz``); see :mod:`repro.obs.profiler`.
+    stack_profiles: dict[str, str] = field(default_factory=dict)
     elapsed: float = 0.0
 
     @property
@@ -186,6 +190,7 @@ class ExecStats:
         self.replayed_failures += other.replayed_failures
         self.failures.extend(other.failures)
         self.profile.extend(other.profile)
+        self.stack_profiles.update(other.stack_profiles)
         self.elapsed += other.elapsed
 
     def summary(self) -> str:
@@ -257,6 +262,38 @@ class CellCache:
                 return json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError, OSError):
             return None
+
+    def profile_path(self, key: str) -> Path:
+        """Sidecar sampling-profile location for a cached cell."""
+        return self.root / key[:2] / f"{key}.profile.collapsed"
+
+    def get_profile(self, key: str) -> Optional[str]:
+        """Collapsed-stack profile stored alongside a cached cell, if any."""
+        try:
+            return self.profile_path(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def put_profile(self, key: str, collapsed: str) -> None:
+        """Atomically store a cell's collapsed-stack profile sidecar.
+
+        Profiles ride *next to* the cache entry, never inside it: the
+        entry (and its key) stay byte-identical whether or not the run
+        was profiled, preserving profiled/unprofiled cache sharing.
+        """
+        path = self.profile_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(collapsed)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def _write(self, key: str, payload: dict) -> None:
         self._write_path(self._path(key), payload)

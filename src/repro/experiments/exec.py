@@ -41,6 +41,7 @@ from repro.experiments.cellcache import (
     cell_key,
 )
 from repro.obs.metrics import REGISTRY
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.spans import (
     current_traceparent,
     emit_span,
@@ -248,27 +249,48 @@ class CellResults:
 # Execution
 # ----------------------------------------------------------------------
 
-def _execute_one(cell: Cell, key: str, cache: Optional[CellCache]):
+def _execute_one(cell: Cell, key: str, cache: Optional[CellCache],
+                 profile_hz: int = 0):
     """Run one cell, writing the result (or failure) through the cache.
 
-    Returns ``(label, "ok", result, wall_seconds)`` or
-    ``(label, "error", message, wall_seconds)``; never raises, so pool
-    futures only fail on worker death. ``wall_seconds`` is 0.0 when the
-    cell was served by a racing worker's cache entry.
+    Returns ``(label, "ok", result, wall_seconds, profile_text)`` or
+    ``(label, "error", message, wall_seconds, profile_text)``; never
+    raises, so pool futures only fail on worker death. ``wall_seconds``
+    is 0.0 when the cell was served by a racing worker's cache entry.
+
+    ``profile_hz > 0`` wraps the cell's execution in a
+    :class:`~repro.obs.profiler.SamplingProfiler` (one per cell, so the
+    serial and pool paths profile identically) and returns the
+    collapsed-stack text, also stored as a cache sidecar.  Sampling is
+    observation-only: the cell runs the exact code it runs unprofiled,
+    and the cache entry (and key) are byte-identical either way.
     """
     start = time.perf_counter()
+    profiler = None
     try:
         if cache is not None:
             # Another worker may have finished this cell (or its alone-IPC
             # twin) since the parent scheduled it.
             hit = cache.get_result(key)
             if hit is not None:
-                return cell.label, "ok", hit, 0.0
+                return cell.label, "ok", hit, 0.0, None
+        if profile_hz > 0:
+            profiler = SamplingProfiler(hz=profile_hz)
+            profiler.track(cell=cell.label)
+            profiler.start()
         result = cell.execute()
+        collapsed = _finish_profile(profiler)
+        profiler = None
         if cache is not None:
             cache.put_result(key, result, label=cell.label)
-        return cell.label, "ok", result, time.perf_counter() - start
+            if collapsed:
+                try:
+                    cache.put_profile(key, collapsed)
+                except OSError:
+                    pass  # a lost sidecar never fails the cell
+        return cell.label, "ok", result, time.perf_counter() - start, collapsed
     except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+        collapsed = _finish_profile(profiler)
         message = f"{type(exc).__name__}: {exc}"
         if cache is not None:
             try:
@@ -276,7 +298,16 @@ def _execute_one(cell: Cell, key: str, cache: Optional[CellCache]):
                                   label=cell.label)
             except OSError:
                 pass
-        return cell.label, "error", message, time.perf_counter() - start
+        return (cell.label, "error", message,
+                time.perf_counter() - start, collapsed)
+
+
+def _finish_profile(profiler: Optional[SamplingProfiler]) -> Optional[str]:
+    """Stop a per-cell profiler and serialize it, if one was running."""
+    if profiler is None:
+        return None
+    profile = profiler.stop()
+    return profile.collapsed() if profile.total_samples else None
 
 
 def _profile_of(label: str, payload, wall: float) -> CellProfile:
@@ -298,14 +329,14 @@ def _worker_init(cache_dir: Optional[str]) -> None:
 
 
 def _worker_run(cell: Cell, key: str, cache_dir: Optional[str],
-                traceparent: Optional[str] = None):
+                traceparent: Optional[str] = None, profile_hz: int = 0):
     # Contextvars do not cross process boundaries; re-establish the
     # submitting request's trace context so run manifests produced in
     # pool workers stay correlated to it.
     if traceparent is not None:
         set_current_traceparent(traceparent)
     cache = CellCache(cache_dir) if cache_dir else None
-    return _execute_one(cell, key, cache)
+    return _execute_one(cell, key, cache, profile_hz=profile_hz)
 
 
 def _as_cache(cache) -> Optional[CellCache]:
@@ -322,6 +353,7 @@ def execute_cells(
     resume: bool = False,
     should_stop: Optional[Callable[[], Optional[str]]] = None,
     on_cell: Optional[Callable[[str, str, int, int], None]] = None,
+    profile_hz: int = 0,
 ) -> tuple[dict, ExecStats]:
     """Run cells, returning ``(results by label, ExecStats)``.
 
@@ -344,6 +376,14 @@ def execute_cells(
     ``"replayed-failure"`` or ``"error"``; services feed job progress
     streams from it.  Hook exceptions are not caught: hooks are
     engine-adapter code, not user cells.
+
+    ``profile_hz > 0`` samples each *executed* cell's Python stack at
+    that rate (:mod:`repro.obs.profiler`); the collapsed-stack text
+    lands in ``stats.stack_profiles[label]`` and as a
+    ``<key>.profile.collapsed`` sidecar in the cell cache.  Profiling
+    is observation-only — results, cache entries and cache keys are
+    bit-identical to an unprofiled run — and cached cells (nothing
+    executed) contribute no profile.
     """
     cache = _as_cache(cache)
     start = time.time()
@@ -408,29 +448,32 @@ def execute_cells(
             ) as pool:
                 futures = {
                     pool.submit(_worker_run, cell, keys[cell.label],
-                                cache_dir, traceparent):
+                                cache_dir, traceparent, profile_hz):
                     cell
                     for cell in unique
                 }
                 for future in as_completed(futures):
                     cell = futures[future]
                     try:
-                        label, status, payload, wall = future.result()
+                        label, status, payload, wall, collapsed = (
+                            future.result())
                     except CancelledError:
                         continue  # never started; the sweep is stopping
                     except BrokenProcessPool:
-                        label, status, payload, wall = (
+                        label, status, payload, wall, collapsed = (
                             cell.label, "error",
                             "worker process crashed (killed or out of memory)",
-                            0.0,
+                            0.0, None,
                         )
                     except Exception as exc:  # pool plumbing failure
-                        label, status, payload, wall = (
+                        label, status, payload, wall, collapsed = (
                             cell.label, "error",
-                            f"{type(exc).__name__}: {exc}", 0.0,
+                            f"{type(exc).__name__}: {exc}", 0.0, None,
                         )
                     outcomes[keys[label]] = (status, payload)
                     _observe_cell(label, status, wall)
+                    if collapsed:
+                        stats.stack_profiles[label] = collapsed
                     if status == "ok":
                         stats.executed += 1
                         if wall > 0:
@@ -450,10 +493,12 @@ def execute_cells(
                     stop_reason = should_stop() or None
                     if stop_reason:
                         break
-                label, status, payload, wall = _execute_one(
-                    cell, keys[cell.label], cache)
+                label, status, payload, wall, collapsed = _execute_one(
+                    cell, keys[cell.label], cache, profile_hz=profile_hz)
                 outcomes[keys[label]] = (status, payload)
                 _observe_cell(label, status, wall)
+                if collapsed:
+                    stats.stack_profiles[label] = collapsed
                 if status == "ok":
                     stats.executed += 1
                     if wall > 0:
@@ -498,6 +543,7 @@ def run_spec(
     telemetry: Optional[TelemetryConfig] = None,
     should_stop: Optional[Callable[[], Optional[str]]] = None,
     on_cell: Optional[Callable[[str, str, int, int], None]] = None,
+    profile_hz: int = 0,
 ) -> ExperimentResult:
     """Execute a spec's cells and render its table.
 
@@ -521,7 +567,7 @@ def run_spec(
                  if isinstance(cell, MixCell) else cell for cell in cells]
     results, stats = execute_cells(cells, jobs=jobs, cache=cache,
                                    resume=resume, should_stop=should_stop,
-                                   on_cell=on_cell)
+                                   on_cell=on_cell, profile_hz=profile_hz)
     if stats.failures:
         failed = ", ".join(f.label for f in stats.failures[:8])
         more = "" if stats.failed <= 8 else f" (+{stats.failed - 8} more)"

@@ -61,7 +61,8 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
                    jobs: int = 1,
                    cache: Optional[object] = None,
                    resume: bool = False,
-                   telemetry: Optional[TelemetryConfig] = None):
+                   telemetry: Optional[TelemetryConfig] = None,
+                   profile: bool = False):
     """Run one experiment by id, returning its ExperimentResult.
 
     ``jobs`` fans the experiment's cells out over worker processes;
@@ -84,7 +85,7 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
     request = api.ExperimentRequest(
         experiment=name, scale=scale_name,
         workloads=tuple(workloads) if workloads else None,
-        jobs=jobs, resume=resume,
+        jobs=jobs, resume=resume, profile=profile,
     )
     return api.run_experiment(request, cache=cache, telemetry=telemetry,
                               spec=spec)
@@ -141,6 +142,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="where --trace writes "
                              "<experiment>/<cell>.trace.jsonl "
                              f"(default: {DEFAULT_TRACE_DIR})")
+    parser.add_argument("--profile", action="store_true",
+                        help="sample executed cells' Python stacks "
+                             "(repro.obs.profiler; observation-only, "
+                             "results stay bit-identical) and write a "
+                             "merged collapsed-stack profile")
+    parser.add_argument("--profile-out", metavar="FILE",
+                        default="profile.collapsed",
+                        help="where --profile writes the merged profile "
+                             "(default: profile.collapsed)")
     parser.add_argument("--bench", metavar="FILE", default=None,
                         help="write a BENCH performance-trajectory record "
                              "(per-experiment wall time and events/sec; "
@@ -197,7 +207,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = run_experiment(
                 name, args.scale, spec_workloads,
                 jobs=max(1, args.jobs), cache=cache, resume=args.resume,
-                telemetry=spec_telemetry,
+                telemetry=spec_telemetry, profile=args.profile,
             )
         except ReproError as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)
@@ -259,6 +269,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"[run summary: {totals.summary()}]")
         if totals.profile:
             print(totals.profile_summary())
+    if args.profile:
+        from repro.obs.profiler import Profile, top_symbols
+
+        merged = Profile()
+        for text in totals.stack_profiles.values():
+            merged.merge(Profile.parse(text))
+        if merged.total_samples:
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(merged.collapsed())
+            hottest = ", ".join(
+                sym for sym, _, _ in top_symbols(merged, 3))
+            print(f"[profile written to {args.profile_out}: "
+                  f"{merged.total_samples} samples, "
+                  f"{len(merged.cells())} cells; hottest: {hottest}]")
+        else:
+            print("[profile: no samples — every cell came from the cache; "
+                  "use --no-cache to profile a full run]")
     if args.bench and per_experiment:
         scale = args.scale or os.environ.get("REPRO_SCALE", "smoke")
         record = build_bench_record(

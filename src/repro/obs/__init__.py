@@ -33,6 +33,20 @@ the queue, worker, engine cells, and run manifests;
 CLI.  All of it observes the service *around* the simulator — nothing
 instruments the per-event hot path, and determinism goldens are
 unaffected.
+
+**Continuous profiling** (PR 8): :mod:`repro.obs.profiler` is a
+dependency-free sampling profiler (a background thread walking
+``sys._current_frames()`` of tracked cell threads into the collapsed-
+stack format, with per-cell attribution); :mod:`repro.obs.flame`
+renders collapsed profiles to self-contained SVG/HTML flamegraphs;
+:mod:`repro.obs.profdiff` ranks symbol-level self-time drift between
+two captures; :mod:`repro.obs.tsdb` is the append-only JSONL
+time-series store behind the dash; and :mod:`repro.obs.dash` assembles
+BENCH trajectory, flamegraph, profile deltas, metric sparklines, and
+validation verdicts into one offline HTML observatory (``repro dash``).
+Profiling is observation-only and off by default: it never enters cell
+cache keys or request fingerprints, and a profiled run's results are
+bit-identical to an unprofiled one.
 """
 
 from repro.obs.analysis import (
@@ -65,7 +79,16 @@ from repro.obs.metrics import (
     lint_exposition,
     parse_exposition,
 )
+from repro.obs.flame import render_html, render_svg
 from repro.obs.probes import attach_system_probes
+from repro.obs.profdiff import ProfileDiff, diff_profiles, render_diff
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    Profile,
+    SamplingProfiler,
+    merge_collapsed,
+    top_symbols,
+)
 from repro.obs.spans import (
     Span,
     current_traceparent,
@@ -76,6 +99,7 @@ from repro.obs.spans import (
     use_traceparent,
 )
 from repro.obs.telemetry import Series, Telemetry, TelemetryConfig
+from repro.obs.tsdb import TimeSeriesStore, bench_row, metrics_row, samples_row
 from repro.obs.trace import (
     TraceWriter,
     iter_trace,
@@ -85,17 +109,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_HZ",
     "MetricSpec",
     "MetricsRegistry",
+    "Profile",
+    "ProfileDiff",
     "REGISTRY",
+    "SamplingProfiler",
     "Series",
     "Span",
     "Telemetry",
     "TelemetryConfig",
+    "TimeSeriesStore",
     "TraceAnalysis",
     "TraceWriter",
     "analyze_trace",
     "attach_system_probes",
+    "bench_row",
     "build_bench_record",
     "build_manifest",
     "compare_bench",
@@ -104,6 +134,7 @@ __all__ = [
     "configure_logging",
     "current_traceparent",
     "diff_manifests",
+    "diff_profiles",
     "emit_span",
     "get_logger",
     "git_sha",
@@ -112,14 +143,21 @@ __all__ = [
     "lint_exposition",
     "load_bench",
     "make_traceparent",
+    "merge_collapsed",
+    "metrics_row",
     "parse_exposition",
     "parse_traceparent",
     "read_trace",
     "render_comparison",
     "render_csv",
+    "render_diff",
     "render_dir_comparison",
+    "render_html",
     "render_markdown",
+    "render_svg",
+    "samples_row",
     "sparkline",
+    "top_symbols",
     "trace_paths",
     "use_span_sink",
     "use_traceparent",

@@ -190,9 +190,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"  {note}")
     for line in regressions:
         print(f"  REGRESSED: {line}")
+    if regressions:
+        _explain_bench_regression(getattr(args, "profile", None),
+                                  getattr(args, "profile_baseline", None))
     if regressions and not args.no_fail:
         return 1
     return 0
+
+
+def _explain_bench_regression(profile_path: Optional[str],
+                              baseline_path: Optional[str]) -> None:
+    """On a bench regression, point at *where* the time went: rank the
+    top frame-level self-time deltas between the run's profile and the
+    committed baseline profile (both optional — silent if absent)."""
+    if not profile_path or not baseline_path:
+        return
+    from repro.obs.profdiff import diff_profiles, render_diff
+    from repro.obs.profiler import Profile
+
+    try:
+        before = Profile.parse(
+            Path(baseline_path).read_text(encoding="utf-8"))
+        after = Profile.parse(Path(profile_path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"  (profile diff unavailable: {exc})")
+        return
+    if not before.total_samples or not after.total_samples:
+        print("  (profile diff unavailable: empty profile)")
+        return
+    print()
+    print("  where the time went (top frame-level deltas vs baseline):")
+    diff = diff_profiles(before, after)
+    for line in render_diff(diff, top=10).splitlines():
+        print(f"  {line}")
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +272,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             f"(default {DEFAULT_BENCH_THRESHOLD})")
     bench.add_argument("--no-fail", action="store_true",
                        help="report regressions but always exit 0")
+    bench.add_argument("--profile", metavar="FILE", default=None,
+                       help="collapsed profile captured with this bench "
+                            "run; on regression the top frame deltas vs "
+                            "--profile-baseline are printed")
+    bench.add_argument("--profile-baseline", metavar="FILE", default=None,
+                       help="committed baseline collapsed profile "
+                            "(e.g. profiles/BENCH_4.collapsed)")
     bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)

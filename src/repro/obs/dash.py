@@ -1,0 +1,500 @@
+"""``repro dash`` — one offline HTML performance observatory.
+
+Collects everything the repo already records about its own performance —
+the committed ``BENCH_<n>.json`` trajectory, the latest collapsed-stack
+profile (rendered as a flamegraph), frame-level deltas vs the previous
+profile, metrics history from the :mod:`repro.obs.tsdb` store, and the
+validation verdict summary — and renders a single self-contained HTML
+file: no scripts fetched, no fonts, no network at all.  The page is
+safe to open from a CI artifact or commit to a branch.
+
+Chart styling follows the repo's data-viz conventions: one y-axis per
+chart, a single categorical hue for the single series, ink-token text,
+hairline grid, and light/dark via CSS custom properties keyed off
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.bench import load_bench
+from repro.obs.flame import render_svg
+from repro.obs.profdiff import diff_profiles
+from repro.obs.profiler import Profile
+from repro.obs.tsdb import TimeSeriesStore
+
+__all__ = ["gather_dash_data", "render_dash", "dash_main"]
+
+_BENCH_NAME = re.compile(r"BENCH_(\d+)\.json$")
+_PROFILE_NAME = re.compile(r"BENCH_(\d+)\.collapsed$")
+MAX_SPARKLINES = 12
+
+
+# ----------------------------------------------------------------------
+# Data gathering
+# ----------------------------------------------------------------------
+
+def _bench_trajectory(repo: Path) -> list:
+    """``[(n, record), ...]`` for every committed BENCH record, by n."""
+    records = []
+    for path in repo.glob("BENCH_*.json"):
+        match = _BENCH_NAME.match(path.name)
+        if not match:
+            continue
+        try:
+            records.append((int(match.group(1)), load_bench(path)))
+        except Exception:
+            continue  # an unreadable record should not kill the dash
+    return sorted(records)
+
+
+def _committed_profiles(repo: Path) -> list:
+    """``[(n, path), ...]`` committed baseline profiles, by milestone."""
+    found = []
+    for path in (repo / "profiles").glob("BENCH_*.collapsed"):
+        match = _PROFILE_NAME.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def _read_profile(path: Optional[Path]) -> Optional[Profile]:
+    if path is None:
+        return None
+    try:
+        return Profile.parse(path.read_text(encoding="utf-8"))
+    except OSError:
+        return None
+
+
+def gather_dash_data(repo: Path,
+                     profile_path: Optional[Path] = None,
+                     baseline_path: Optional[Path] = None,
+                     tsdb_path: Optional[Path] = None,
+                     verdicts_path: Optional[Path] = None) -> dict:
+    """Everything :func:`render_dash` needs, resolved from the repo.
+
+    Defaults: the profile is the highest-numbered committed
+    ``profiles/BENCH_<n>.collapsed``, the baseline the one before it,
+    verdicts come from ``VERDICTS.json``, and the tsdb (optional) from
+    ``--tsdb``.
+    """
+    committed = _committed_profiles(repo)
+    if profile_path is None and committed:
+        profile_path = committed[-1][1]
+    if baseline_path is None and len(committed) > 1:
+        baseline_path = committed[-2][1]
+    if verdicts_path is None:
+        candidate = repo / "VERDICTS.json"
+        verdicts_path = candidate if candidate.is_file() else None
+    verdicts = None
+    if verdicts_path is not None:
+        try:
+            verdicts = json.loads(verdicts_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            verdicts = None
+    return {
+        "repo": repo,
+        "bench": _bench_trajectory(repo),
+        "profile_path": profile_path,
+        "profile": _read_profile(profile_path),
+        "baseline_path": baseline_path,
+        "baseline": _read_profile(baseline_path),
+        "tsdb": TimeSeriesStore(tsdb_path) if tsdb_path else None,
+        "verdicts": verdicts,
+    }
+
+
+# ----------------------------------------------------------------------
+# SVG chart helpers (inline, dependency-free)
+# ----------------------------------------------------------------------
+
+def _line_chart(points: list, width: int = 560, height: int = 220) -> str:
+    """Single-series line chart: ``points = [(label, value), ...]``."""
+    if not points:
+        return '<p class="empty">no BENCH records found</p>'
+    pad_l, pad_r, pad_t, pad_b = 64, 16, 12, 28
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    top = max(value for _, value in points) * 1.1 or 1.0
+
+    def x_of(i: int) -> float:
+        if len(points) == 1:
+            return pad_l + plot_w / 2
+        return pad_l + i * plot_w / (len(points) - 1)
+
+    def y_of(value: float) -> float:
+        return pad_t + plot_h * (1 - value / top)
+
+    grid, ticks = [], []
+    for step in range(5):
+        value = top * step / 4
+        y = y_of(value)
+        grid.append(f'<line class="grid" x1="{pad_l}" y1="{y:.1f}" '
+                    f'x2="{width - pad_r}" y2="{y:.1f}"/>')
+        ticks.append(f'<text class="tick" x="{pad_l - 6}" y="{y + 3.5:.1f}" '
+                     f'text-anchor="end">{value:,.0f}</text>')
+
+    coords = [(x_of(i), y_of(value)) for i, (_, value) in enumerate(points)]
+    path = " ".join(f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+                    for i, (x, y) in enumerate(coords))
+    marks, labels = [], []
+    for (x, y), (label, value) in zip(coords, points):
+        marks.append(f'<circle class="dot" cx="{x:.1f}" cy="{y:.1f}" r="4">'
+                     f'<title>{html.escape(label)}: {value:,.0f} events/s'
+                     f'</title></circle>')
+        labels.append(f'<text class="tick" x="{x:.1f}" '
+                      f'y="{height - 8}" text-anchor="middle">'
+                      f'{html.escape(label)}</text>')
+        labels.append(f'<text class="value" x="{x:.1f}" y="{y - 9:.1f}" '
+                      f'text-anchor="middle">{value:,.0f}</text>')
+    return (f'<svg class="chart" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="events per second by BENCH milestone">'
+            f'{"".join(grid)}{"".join(ticks)}'
+            f'<path class="line" d="{path}"/>'
+            f'{"".join(marks)}{"".join(labels)}</svg>')
+
+
+def _sparkline(values: list, width: int = 140, height: int = 34) -> str:
+    if len(values) < 2:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    pad = 3
+    coords = []
+    for i, value in enumerate(values):
+        x = pad + i * (width - 2 * pad) / (len(values) - 1)
+        y = pad + (height - 2 * pad) * (1 - (value - low) / span)
+        coords.append(f"{x:.1f},{y:.1f}")
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline class="line" points="{" ".join(coords)}"/></svg>')
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+def _tiles(data: dict) -> str:
+    bench = data["bench"]
+    tiles = []
+    if bench:
+        n, latest = bench[-1]
+        tiles.append(("events / second", f"{latest['events_per_sec']:,.0f}",
+                      f"BENCH_{n} · scale {latest.get('scale', '?')}", ""))
+        if len(bench) > 1:
+            prev_n, prev = bench[-2]
+            ratio = latest["events_per_sec"] / prev["events_per_sec"] - 1
+            klass = "delta-good" if ratio >= 0 else "delta-bad"
+            arrow = "▲" if ratio >= 0 else "▼"
+            tiles.append((f"vs BENCH_{prev_n}",
+                          f"{arrow} {abs(ratio) * 100:.1f}%",
+                          f"{prev['events_per_sec']:,.0f} → "
+                          f"{latest['events_per_sec']:,.0f}", klass))
+        tiles.append(("events simulated", f"{latest['total_events']:,}",
+                      f"{latest['total_wall_seconds']:.1f}s of simulation", ""))
+    verdicts = data["verdicts"]
+    if verdicts:
+        summary = verdicts.get("summary", {})
+        passed = summary.get("passed", 0)
+        claims = summary.get("claims", 0)
+        klass = "delta-good" if passed == claims and claims else "delta-bad"
+        tiles.append(("paper claims validated", f"{passed}/{claims}",
+                      f"{summary.get('experiments', 0)} experiments · "
+                      f"scale {verdicts.get('scale', '?')}", klass))
+    cells = []
+    for label, value, sub, klass in tiles:
+        cells.append(
+            f'<div class="tile"><div class="tile-label">{html.escape(label)}'
+            f'</div><div class="tile-value {klass}">{html.escape(value)}'
+            f'</div><div class="tile-sub">{html.escape(sub)}</div></div>')
+    return '<div class="tiles">' + "".join(cells) + "</div>"
+
+
+def _bench_section(data: dict) -> str:
+    points = [(f"BENCH_{n}", record["events_per_sec"])
+              for n, record in data["bench"]]
+    return (f'<section><h2>Throughput trajectory</h2>'
+            f'<p class="note">events/second per committed BENCH milestone '
+            f'(simulation wall time, parallelism cannot inflate it)</p>'
+            f'{_line_chart(points)}</section>')
+
+
+def _flame_section(data: dict) -> str:
+    profile = data["profile"]
+    if profile is None:
+        return ('<section><h2>Flamegraph</h2><p class="empty">no profile '
+                'found — run <code>repro profile run</code> or pass '
+                '<code>--profile</code></p></section>')
+    name = data["profile_path"].name if data["profile_path"] else "profile"
+    svg = render_svg(profile, title=name, width=1104)
+    return (f'<section><h2>Flamegraph</h2>'
+            f'<p class="note">latest capture: <code>{html.escape(name)}'
+            f'</code> · click a frame to zoom</p>'
+            f'<div class="flame">{svg}</div></section>')
+
+
+def _diff_section(data: dict, top: int = 10) -> str:
+    profile, baseline = data["profile"], data["baseline"]
+    if profile is None or baseline is None:
+        return ""
+    diff = diff_profiles(baseline, profile)
+    base_name = data["baseline_path"].name if data["baseline_path"] else "?"
+    rows = []
+    for delta in diff.top(top):
+        if delta.status == "~" and delta.delta_pp == 0.0:
+            continue
+        icon = {"grew": "▲", "new": "▲", "shrank": "▼", "gone": "▼"}.get(
+            delta.status, "·")
+        klass = {"grew": "delta-bad", "new": "delta-bad",
+                 "shrank": "delta-good", "gone": "delta-good"}.get(
+            delta.status, "")
+        rows.append(
+            f'<tr><td class="num {klass}">{icon} {delta.delta_pp:+.2f}pp</td>'
+            f'<td class="num">{delta.frac_a * 100:.2f}%</td>'
+            f'<td class="num">{delta.frac_b * 100:.2f}%</td>'
+            f'<td>{html.escape(delta.status)}</td>'
+            f'<td class="sym">{html.escape(delta.symbol)}</td></tr>')
+    if not rows:
+        body = '<p class="empty">no frame-level drift vs the baseline</p>'
+    else:
+        body = ('<table><thead><tr><th>Δ self</th><th>before</th>'
+                '<th>after</th><th>status</th><th>symbol</th></tr></thead>'
+                f'<tbody>{"".join(rows)}</tbody></table>')
+    return (f'<section><h2>Top profile deltas</h2>'
+            f'<p class="note">self-time share vs '
+            f'<code>{html.escape(base_name)}</code> — where a regression '
+            f'(▲, more share) or a win (▼) actually lives</p>'
+            f'{body}</section>')
+
+
+def _spark_section(data: dict) -> str:
+    store = data["tsdb"]
+    if store is None:
+        return ""
+    by_key: dict = {}
+    for row in store.rows():
+        for key, value in row.get("data", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                by_key.setdefault(key, []).append(value)
+    keys = sorted(key for key, values in by_key.items() if len(values) >= 2)
+    if not keys:
+        return ('<section><h2>Metrics history</h2><p class="empty">tsdb has '
+                'fewer than two samples per series</p></section>')
+    cards = []
+    for key in keys[:MAX_SPARKLINES]:
+        values = by_key[key]
+        cards.append(
+            f'<div class="spark-card"><div class="spark-name">'
+            f'{html.escape(key)}</div>{_sparkline(values)}'
+            f'<div class="spark-last">{_fmt(values[-1])}</div></div>')
+    more = ("" if len(keys) <= MAX_SPARKLINES else
+            f'<p class="note">{len(keys) - MAX_SPARKLINES} more series in '
+            f'the store</p>')
+    return (f'<section><h2>Metrics history</h2>'
+            f'<p class="note">{len(store)} rows in '
+            f'<code>{html.escape(str(store.path))}</code></p>'
+            f'<div class="sparks">{"".join(cards)}</div>{more}</section>')
+
+
+def _verdict_section(data: dict) -> str:
+    verdicts = data["verdicts"]
+    if not verdicts:
+        return ""
+    rows = []
+    for name, entry in sorted(verdicts.get("experiments", {}).items()):
+        claims = entry.get("claims", [])
+        passed = sum(1 for claim in claims if claim.get("status") == "pass")
+        ok = passed == len(claims)
+        mark = "✓" if ok else "✗"
+        klass = "delta-good" if ok else "delta-bad"
+        rows.append(f'<tr><td>{html.escape(name)}</td>'
+                    f'<td>{html.escape(entry.get("title", ""))}</td>'
+                    f'<td class="num {klass}">{mark} {passed}/{len(claims)}'
+                    f'</td></tr>')
+    return ('<section><h2>Validation verdicts</h2>'
+            '<p class="note">paper-shape claims per experiment '
+            '(<code>repro validate</code>)</p>'
+            '<table><thead><tr><th>experiment</th><th>title</th>'
+            '<th>claims</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table></section>')
+
+
+# ----------------------------------------------------------------------
+# Page
+# ----------------------------------------------------------------------
+
+_CSS = """
+  :root { color-scheme: light dark; }
+  .dash {
+    --page: #f9f9f7; --surface-1: #fcfcfb;
+    --text-primary: #0b0b0b; --text-secondary: #52514e;
+    --text-muted: #898781; --grid: #e1e0d9; --axis: #c3c2b7;
+    --series-1: #2a78d6; --good: #006300; --bad: #d03b3b;
+    --border: rgba(11,11,11,0.10);
+  }
+  @media (prefers-color-scheme: dark) {
+    .dash {
+      --page: #0d0d0d; --surface-1: #1a1a19;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7;
+      --text-muted: #898781; --grid: #2c2c2a; --axis: #383835;
+      --series-1: #3987e5; --good: #0ca30c; --bad: #e66767;
+      --border: rgba(255,255,255,0.10);
+    }
+  }
+  body.dash {
+    margin: 0; padding: 28px; background: var(--page);
+    color: var(--text-primary);
+    font: 14px system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  .dash h1 { font-size: 20px; margin: 0 0 2px; }
+  .dash h2 { font-size: 15px; margin: 0 0 4px; }
+  .dash .sub, .dash .note { color: var(--text-secondary); margin: 0 0 10px; }
+  .dash .empty { color: var(--text-muted); }
+  .dash section {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 16px; margin: 16px 0; overflow-x: auto;
+  }
+  .dash .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-top: 16px; }
+  .dash .tile {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 16px; min-width: 160px;
+  }
+  .dash .tile-label { color: var(--text-secondary); font-size: 12px; }
+  .dash .tile-value { font-size: 26px; margin: 2px 0; }
+  .dash .tile-sub { color: var(--text-muted); font-size: 12px; }
+  .dash .delta-good { color: var(--good); }
+  .dash .delta-bad { color: var(--bad); }
+  .dash svg.chart .grid { stroke: var(--grid); stroke-width: 1; }
+  .dash svg.chart .tick { fill: var(--text-muted); font-size: 11px;
+                          font-variant-numeric: tabular-nums; }
+  .dash svg.chart .value { fill: var(--text-secondary); font-size: 11px;
+                           font-variant-numeric: tabular-nums; }
+  .dash svg.chart .line { stroke: var(--series-1); stroke-width: 2;
+                          fill: none; }
+  .dash svg.chart .dot { fill: var(--series-1); stroke: var(--surface-1);
+                         stroke-width: 2; }
+  .dash .flame { overflow-x: auto; }
+  .dash table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  .dash th { text-align: left; color: var(--text-secondary);
+             font-weight: 600; border-bottom: 1px solid var(--axis); }
+  .dash th, .dash td { padding: 4px 10px 4px 0; }
+  .dash td { border-bottom: 1px solid var(--grid); }
+  .dash td.num { font-variant-numeric: tabular-nums; white-space: nowrap; }
+  .dash td.sym, .dash code {
+    font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+    font-size: 12px;
+  }
+  .dash .sparks { display: flex; flex-wrap: wrap; gap: 12px; }
+  .dash .spark-card {
+    border: 1px solid var(--border); border-radius: 6px; padding: 8px 10px;
+  }
+  .dash .spark-name { color: var(--text-secondary); font-size: 11px;
+    font-family: ui-monospace, SFMono-Regular, Menlo, monospace; }
+  .dash svg.spark .line { stroke: var(--series-1); stroke-width: 1.5;
+                          fill: none; }
+  .dash .spark-last { font-size: 13px;
+                      font-variant-numeric: tabular-nums; }
+"""
+
+
+def render_dash(data: dict, title: str = "repro performance observatory",
+                ) -> str:
+    """The full self-contained dash page."""
+    bench = data["bench"]
+    sub_bits = []
+    if bench:
+        sub_bits.append(f"{len(bench)} BENCH milestones")
+        sha = bench[-1][1].get("git_sha", "")
+        if sha:
+            sub_bits.append(f"latest at {sha[:12]}")
+    sub = " · ".join(sub_bits) or "no committed BENCH records"
+    sections = [
+        _tiles(data),
+        _bench_section(data),
+        _flame_section(data),
+        _diff_section(data),
+        _spark_section(data),
+        _verdict_section(data),
+    ]
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body class="dash">
+<h1>{html.escape(title)}</h1>
+<p class="sub">{html.escape(sub)}</p>
+{"".join(section for section in sections if section)}
+</body>
+</html>
+"""
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def dash_main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro dash",
+        description="Render the offline HTML performance observatory.")
+    parser.add_argument("--repo", default=".",
+                        help="repo root holding BENCH_*.json (default: .)")
+    parser.add_argument("--out", default="dash.html",
+                        help="output HTML path (default: dash.html)")
+    parser.add_argument("--profile", default=None,
+                        help="collapsed profile to render (default: highest "
+                             "committed profiles/BENCH_<n>.collapsed)")
+    parser.add_argument("--profile-baseline", default=None,
+                        help="baseline profile for the delta table "
+                             "(default: previous committed profile)")
+    parser.add_argument("--tsdb", default=None,
+                        help="JSONL tsdb file for metrics sparklines")
+    parser.add_argument("--verdicts", default=None,
+                        help="validation verdicts JSON "
+                             "(default: <repo>/VERDICTS.json)")
+    parser.add_argument("--title", default="repro performance observatory")
+    args = parser.parse_args(argv)
+
+    data = gather_dash_data(
+        Path(args.repo),
+        profile_path=Path(args.profile) if args.profile else None,
+        baseline_path=(Path(args.profile_baseline)
+                       if args.profile_baseline else None),
+        tsdb_path=Path(args.tsdb) if args.tsdb else None,
+        verdicts_path=Path(args.verdicts) if args.verdicts else None,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dash(data, title=args.title), encoding="utf-8")
+    parts = [f"{len(data['bench'])} BENCH records"]
+    if data["profile"] is not None:
+        parts.append(f"flamegraph from {data['profile_path'].name}")
+    if data["baseline"] is not None:
+        parts.append(f"deltas vs {data['baseline_path'].name}")
+    if data["tsdb"] is not None:
+        parts.append(f"{len(data['tsdb'])} tsdb rows")
+    print(f"wrote {out} ({', '.join(parts)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(dash_main())

@@ -1,0 +1,260 @@
+"""Self-contained flamegraph rendering for collapsed-stack profiles.
+
+Renders a :class:`~repro.obs.profiler.Profile` to a single SVG (or a
+wrapping HTML page) with **zero external dependencies**: no script or
+stylesheet fetches, no fonts, no d3 — the output opens offline and is
+safe to commit or attach to CI artifacts.  A small embedded script adds
+click-to-zoom in browsers; without script (e.g. ``<img>`` embeds) the
+SVG still renders the full graph with native ``<title>`` hover tips.
+
+Layout is the classic icicle: the synthetic ``all`` root on top, leaves
+at the bottom, frame width proportional to inclusive sample count.
+Cell-attributed profiles get one ``cell:<label>`` lane per cell under
+the root, so a whole-run flamegraph keeps per-cell structure.  Child
+frames are ordered alphabetically, making the rendering deterministic
+for a given profile.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+from repro.obs.profiler import Profile
+
+__all__ = ["build_tree", "render_svg", "render_html"]
+
+FRAME_HEIGHT = 17
+MIN_FRAME_PX = 0.4        # frames narrower than this are dropped from the SVG
+TEXT_MIN_PX = 40          # frames narrower than this draw no label
+CHAR_PX = 6.7             # ~monospace advance at 11px; label truncation
+
+# Frame fills: steps of the reference sequential blue ramp (see the
+# data-viz palette). Hue carries no meaning here — the hash just keeps
+# adjacent frames visually distinct; legibility comes from the 1px
+# surface stroke. The steps stay mid-ramp so the fixed dark label ink
+# reads on every frame in both color schemes.
+_FILLS = ("#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7", "#3987e5")
+_ROOT_FILL = "#cde2fb"
+_LABEL_INK = "#0b0b0b"    # fixed: frames keep the same fill in dark mode
+
+
+def _fill(name: str) -> str:
+    if name == "all":
+        return _ROOT_FILL
+    # Stable, platform-independent string hash (hash() is seeded).
+    digest = 0
+    for char in name:
+        digest = (digest * 31 + ord(char)) & 0xFFFFFFFF
+    return _FILLS[digest % len(_FILLS)]
+
+
+def build_tree(profile: Profile) -> dict:
+    """Merge samples into a frame trie: ``{name, value, children}``.
+
+    ``value`` is the inclusive sample count (samples passing through the
+    frame); ``children`` maps child frame name to its node.
+    """
+    root = {"name": "all", "value": 0, "children": {}}
+    for (cell, stack), count in profile.samples.items():
+        frames = ((f"cell:{cell}",) if cell else ()) + stack
+        root["value"] += count
+        node = root
+        for frame in frames:
+            child = node["children"].get(frame)
+            if child is None:
+                child = {"name": frame, "value": 0, "children": {}}
+                node["children"][frame] = child
+            child["value"] += count
+            node = child
+    return root
+
+
+def _depth(node: dict) -> int:
+    if not node["children"]:
+        return 1
+    return 1 + max(_depth(child) for child in node["children"].values())
+
+
+def _label(name: str, width_px: float) -> str:
+    chars = int(width_px / CHAR_PX)
+    if chars < 3:
+        return ""
+    if len(name) <= chars:
+        return name
+    return name[: max(1, chars - 1)] + "…"
+
+
+def render_svg(profile: Profile, title: str = "repro profile",
+               width: int = 1200) -> str:
+    """One standalone flamegraph SVG for a profile."""
+    tree = build_tree(profile)
+    total = max(1, tree["value"])
+    depth = _depth(tree)
+    header = 34
+    footer = 22
+    height = header + depth * FRAME_HEIGHT + footer
+
+    frames: list[str] = []
+
+    def emit(node: dict, x: int, level: int) -> None:
+        w_px = node["value"] / total * width
+        if w_px < MIN_FRAME_PX:
+            return
+        x_px = x / total * width
+        y = header + level * FRAME_HEIGHT
+        name = node["name"]
+        pct = node["value"] / total * 100.0
+        tip = f"{name} — {node['value']} samples ({pct:.1f}%)"
+        label = _label(name, w_px) if w_px >= TEXT_MIN_PX else ""
+        text = (
+            f'<text x="{x_px + 3:.2f}" y="{y + 12}">{html.escape(label)}</text>'
+            if label else ""
+        )
+        frames.append(
+            f'<g class="f" data-n="{html.escape(name, quote=True)}" '
+            f'data-x="{x}" data-w="{node["value"]}" data-d="{level}">'
+            f'<title>{html.escape(tip)}</title>'
+            f'<rect x="{x_px:.2f}" y="{y}" width="{w_px:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" rx="1" fill="{_fill(name)}"/>'
+            f"{text}</g>"
+        )
+        child_x = x
+        for child_name in sorted(node["children"]):
+            child = node["children"][child_name]
+            emit(child, child_x, level + 1)
+            child_x += child["value"]
+
+    emit(tree, 0, 0)
+
+    meta_bits = []
+    for key in ("samples", "hz", "duration_seconds"):
+        if key in profile.meta:
+            meta_bits.append(f"{key.replace('_', ' ')}: {profile.meta[key]}")
+    subtitle = " · ".join(meta_bits) or f"{total} samples"
+
+    # Page chrome follows the color scheme; frame fills and their label
+    # ink are fixed (mid-ramp blues read on both surfaces).
+    style = f"""
+  :root {{ color-scheme: light dark; }}
+  svg.repro-flame {{
+    --surface-1: #fcfcfb; --text-primary: #0b0b0b;
+    --text-secondary: #52514e; --text-muted: #898781;
+    font: 11px ui-monospace, SFMono-Regular, Menlo, monospace;
+  }}
+  @media (prefers-color-scheme: dark) {{
+    svg.repro-flame {{
+      --surface-1: #1a1a19; --text-primary: #ffffff;
+      --text-secondary: #c3c2b7; --text-muted: #898781;
+    }}
+  }}
+  svg.repro-flame .bg {{ fill: var(--surface-1); }}
+  svg.repro-flame .title {{
+    fill: var(--text-primary);
+    font: 600 13px system-ui, -apple-system, "Segoe UI", sans-serif;
+  }}
+  svg.repro-flame .meta {{ fill: var(--text-secondary); font-size: 11px; }}
+  svg.repro-flame .hint {{ fill: var(--text-muted); font-size: 10px; }}
+  svg.repro-flame g.f rect {{ stroke: var(--surface-1); stroke-width: 1; }}
+  svg.repro-flame g.f text {{ fill: {_LABEL_INK}; pointer-events: none; }}
+  svg.repro-flame g.f {{ cursor: pointer; }}
+  svg.repro-flame g.f:hover rect {{ stroke: {_LABEL_INK}; }}
+"""
+
+    script = f"""
+  var W = {width}, CH = {CHAR_PX}, TMIN = {TEXT_MIN_PX};
+  var frames = Array.prototype.slice.call(
+      document.querySelectorAll('svg.repro-flame g.f'));
+  function label(name, w) {{
+    var chars = Math.floor(w / CH);
+    if (chars < 3) return '';
+    return name.length <= chars ? name
+         : name.slice(0, Math.max(1, chars - 1)) + '\\u2026';
+  }}
+  function zoom(fx, fw, fd) {{
+    frames.forEach(function (g) {{
+      var x = +g.dataset.x, w = +g.dataset.w, d = +g.dataset.d;
+      var nx, nw;
+      if (d < fd) {{
+        var ancestor = x <= fx && x + w >= fx + fw;
+        if (!ancestor) {{ g.style.display = 'none'; return; }}
+        nx = 0; nw = W;
+      }} else {{
+        if (x < fx || x + w > fx + fw) {{ g.style.display = 'none'; return; }}
+        nx = (x - fx) / fw * W; nw = w / fw * W;
+      }}
+      g.style.display = '';
+      var rect = g.querySelector('rect');
+      rect.setAttribute('x', nx); rect.setAttribute('width', nw);
+      var text = g.querySelector('text');
+      var name = nw >= TMIN ? label(g.dataset.n, nw) : '';
+      if (!text && name) {{
+        text = document.createElementNS('http://www.w3.org/2000/svg', 'text');
+        text.setAttribute('y', +rect.getAttribute('y') + 12);
+        g.appendChild(text);
+      }}
+      if (text) {{
+        text.textContent = name;
+        text.setAttribute('x', nx + 3);
+      }}
+    }});
+  }}
+  frames.forEach(function (g) {{
+    g.addEventListener('click', function () {{
+      zoom(+g.dataset.x, +g.dataset.w, +g.dataset.d);
+    }});
+  }});
+"""
+
+    return f"""<svg xmlns="http://www.w3.org/2000/svg" class="repro-flame"
+     width="{width}" height="{height}" viewBox="0 0 {width} {height}">
+  <style>{style}</style>
+  <rect class="bg" x="0" y="0" width="{width}" height="{height}"/>
+  <text class="title" x="8" y="16">{html.escape(title)}</text>
+  <text class="meta" x="8" y="29">{html.escape(subtitle)}</text>
+  <text class="hint" x="{width - 8}" y="16" text-anchor="end">click a frame to zoom · click all to reset</text>
+  {''.join(frames)}
+  <script><![CDATA[{script}]]></script>
+</svg>
+"""
+
+
+def render_html(profile: Profile, title: str = "repro profile",
+                width: int = 1200,
+                note: Optional[str] = None) -> str:
+    """A minimal offline HTML page embedding the flamegraph SVG."""
+    svg = render_svg(profile, title=title, width=width)
+    note_html = (
+        f'<p class="note">{html.escape(note)}</p>' if note else "")
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>
+  :root {{ color-scheme: light dark; }}
+  body {{
+    margin: 24px; background: #f9f9f7; color: #0b0b0b;
+    font: 14px system-ui, -apple-system, "Segoe UI", sans-serif;
+  }}
+  .note {{ color: #52514e; max-width: 72ch; }}
+  .card {{
+    background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+    border-radius: 8px; padding: 12px; overflow-x: auto;
+  }}
+  @media (prefers-color-scheme: dark) {{
+    body {{ background: #0d0d0d; color: #ffffff; }}
+    .note {{ color: #c3c2b7; }}
+    .card {{ background: #1a1a19; border-color: rgba(255,255,255,0.10); }}
+  }}
+</style>
+</head>
+<body>
+{note_html}
+<div class="card">
+{svg}
+</div>
+</body>
+</html>
+"""

@@ -1,0 +1,216 @@
+"""``repro profile`` — capture, inspect, diff, and render profiles.
+
+Four subcommands over the :mod:`repro.obs.profiler` collapsed-stack
+format::
+
+    repro profile run fig06 --scale smoke --out profile.collapsed
+    repro profile top profile.collapsed
+    repro profile diff profiles/BENCH_4.collapsed profile.collapsed
+    repro profile flame profile.collapsed --out flame.svg
+
+``run`` executes experiments through the normal cached engine with
+per-cell sampling enabled and merges the per-cell profiles into one
+whole-run collapsed file (cell attribution preserved via ``cell:<label>``
+root frames).  Cells served from the cache executed nothing and thus
+contribute no samples — pass ``--no-cache`` or a fresh ``--cache-dir``
+to profile a full run.
+
+``top`` prints the hottest symbols of a capture by self time, per cell
+or whole-run.
+
+``diff`` ranks symbol-level self-time drift between two captures
+(grew/shrank/new/gone); it always exits 0 unless the inputs are
+unreadable, so CI can assert "identical inputs diff clean".
+
+``flame`` renders a collapsed file to a self-contained SVG or HTML
+flamegraph (by output extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.flame import render_html, render_svg
+from repro.obs.profdiff import DEFAULT_THRESHOLD_PP, diff_profiles, render_diff
+from repro.obs.profiler import DEFAULT_HZ, Profile, top_symbols
+
+__all__ = ["profile_main"]
+
+
+def _read_profile(path: str) -> Profile:
+    try:
+        return Profile.parse(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReproError(f"cannot read profile {path}: {exc}") from None
+
+
+def _write_flame(profile: Profile, out: Path, title: str) -> None:
+    if out.suffix == ".html":
+        text = render_html(profile, title=title)
+    else:
+        text = render_svg(profile, title=title)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text, encoding="utf-8")
+
+
+def _print_top(profile: Profile, n: int = 10) -> None:
+    total = profile.total_samples
+    if not total:
+        print("no samples captured (were all cells served from the cache?)")
+        return
+    print(f"{total} samples across {len(profile.cells())} cells; "
+          f"hottest symbols by self time:")
+    for symbol, self_count, total_count in top_symbols(profile, n):
+        print(f"  {self_count / total * 100:6.2f}% self "
+              f"({total_count / total * 100:6.2f}% total)  {symbol}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_run(args) -> int:
+    from repro import api
+
+    cache = None if args.no_cache else api.default_cache(args.cache_dir)
+    merged = Profile()
+    failures = 0
+    for name in args.experiments:
+        try:
+            result = api.run_experiment(
+                name, scale=args.scale, jobs=max(1, args.jobs),
+                cache=cache, profile_hz=args.hz)
+            stack_profiles = (result.stats.stack_profiles
+                              if result.stats else {})
+        except (api.CellExecutionError, api.CellExecutionCancelled) as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            failures += 1
+            stack_profiles = exc.stats.stack_profiles if exc.stats else {}
+        for text in stack_profiles.values():
+            merged.merge(Profile.parse(text))
+    merged.meta["hz"] = args.hz
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(merged.collapsed(), encoding="utf-8")
+    print(f"wrote {out} ({merged.total_samples} samples, "
+          f"{len(merged.cells())} cells)")
+    _print_top(merged)
+    if args.flame:
+        _write_flame(merged, Path(args.flame), title=out.name)
+        print(f"wrote {args.flame}")
+    return 1 if failures else 0
+
+
+def _cmd_top(args) -> int:
+    profile = _read_profile(args.profile)
+    if args.cell is not None and args.cell not in profile.cells():
+        known = ", ".join(profile.cells()) or "none"
+        print(f"error: no cell {args.cell!r} in profile (cells: {known})",
+              file=sys.stderr)
+        return 2
+    if args.cell is not None:
+        total = sum(count for (cell, _), count in profile.samples.items()
+                    if cell == args.cell)
+        print(f"cell {args.cell}: {total} samples; "
+              f"hottest symbols by self time:")
+        for symbol, self_count, total_count in top_symbols(
+                profile, args.top, cell=args.cell):
+            print(f"  {self_count / total * 100:6.2f}% self "
+                  f"({total_count / total * 100:6.2f}% total)  {symbol}")
+    else:
+        _print_top(profile, args.top)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    before = _read_profile(args.before)
+    after = _read_profile(args.after)
+    diff = diff_profiles(before, after, threshold_pp=args.threshold,
+                         per_cell=args.per_cell)
+    print(render_diff(diff, top=args.top, per_cell=args.per_cell))
+    return 0
+
+
+def _cmd_flame(args) -> int:
+    profile = _read_profile(args.profile)
+    out = Path(args.out)
+    _write_flame(profile, out, title=args.title or Path(args.profile).name)
+    print(f"wrote {out} ({profile.total_samples} samples)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def profile_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Capture, diff, and render sampling profiles.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run experiments with per-cell stack sampling")
+    run.add_argument("experiments", nargs="+", help="experiment ids")
+    run.add_argument("--scale", choices=("smoke", "small", "paper"),
+                     default=None)
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default: 1)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR")
+    run.add_argument("--no-cache", action="store_true",
+                     help="run uncached (profiles every cell)")
+    run.add_argument("--hz", type=int, default=DEFAULT_HZ,
+                     help=f"sample rate (default: {DEFAULT_HZ})")
+    run.add_argument("--out", default="profile.collapsed", metavar="FILE",
+                     help="merged collapsed-stack output "
+                          "(default: profile.collapsed)")
+    run.add_argument("--flame", default=None, metavar="FILE",
+                     help="also render a flamegraph (.svg or .html)")
+    run.set_defaults(func=_cmd_run)
+
+    top = sub.add_parser(
+        "top", help="hottest symbols of a capture by self time")
+    top.add_argument("profile", help="collapsed-stack input file")
+    top.add_argument("--top", type=int, default=10,
+                     help="rows to show (default: 10)")
+    top.add_argument("--cell", default=None, metavar="LABEL",
+                     help="restrict to one cell (e.g. mcf/dap)")
+    top.set_defaults(func=_cmd_top)
+
+    diff = sub.add_parser(
+        "diff", help="rank symbol-level drift between two profiles")
+    diff.add_argument("before", help="baseline collapsed profile")
+    diff.add_argument("after", help="new collapsed profile")
+    diff.add_argument("--top", type=int, default=10,
+                      help="rows to show (default: 10)")
+    diff.add_argument("--threshold", type=float,
+                      default=DEFAULT_THRESHOLD_PP, metavar="PP",
+                      help="grew/shrank threshold in percentage points "
+                           f"(default: {DEFAULT_THRESHOLD_PP})")
+    diff.add_argument("--per-cell", action="store_true",
+                      help="also break drift down per cell")
+    diff.set_defaults(func=_cmd_diff)
+
+    flame = sub.add_parser(
+        "flame", help="render a collapsed profile to a flamegraph")
+    flame.add_argument("profile", help="collapsed-stack input file")
+    flame.add_argument("--out", default="flame.svg", metavar="FILE",
+                       help="output path; .html wraps the SVG in a page "
+                            "(default: flame.svg)")
+    flame.add_argument("--title", default=None)
+    flame.set_defaults(func=_cmd_flame)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(profile_main())

@@ -1,0 +1,144 @@
+"""Symbol-level diff of two sampling profiles.
+
+Compares collapsed-stack profiles (:mod:`repro.obs.profiler`) by
+*self-time share*: each symbol's leaf samples as a fraction of its
+profile's total, so two captures of different length compare fairly.
+Every symbol gets a delta in percentage points and a status —
+``grew`` / ``shrank`` (moved more than a threshold), ``new`` / ``gone``
+(present in only one capture), or ``~`` (steady) — ranked hottest drift
+first.  With cell attribution present, the same diff is available
+per cell, which pins a whole-run regression to the cells that caused it.
+
+This is the attribution half of the CI perf gate: a >20% events/s drop
+now prints the top frame deltas against the committed baseline profile
+instead of a bare failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.profiler import Profile
+
+__all__ = ["SymbolDelta", "ProfileDiff", "diff_profiles", "render_diff"]
+
+#: A symbol's self-share must move by at least this many percentage
+#: points to count as grown/shrunk (sampling noise floor).
+DEFAULT_THRESHOLD_PP = 0.5
+
+
+@dataclass
+class SymbolDelta:
+    """One symbol's drift between profile A (before) and B (after)."""
+
+    symbol: str
+    self_a: int = 0
+    self_b: int = 0
+    total_a: int = 0
+    total_b: int = 0
+    frac_a: float = 0.0       # self-share of profile A, in [0, 1]
+    frac_b: float = 0.0
+    delta_pp: float = 0.0     # frac_b - frac_a, percentage points
+    status: str = "~"         # grew | shrank | new | gone | ~
+
+
+@dataclass
+class ProfileDiff:
+    """A whole-run diff plus the same view split per cell."""
+
+    samples_a: int = 0
+    samples_b: int = 0
+    overall: list = field(default_factory=list)
+    per_cell: dict = field(default_factory=dict)
+
+    @property
+    def max_drift_pp(self) -> float:
+        return max((abs(d.delta_pp) for d in self.overall), default=0.0)
+
+    def top(self, n: int = 10) -> list:
+        return self.overall[:n]
+
+
+def _deltas(a: Profile, b: Profile, cell: Optional[str],
+            threshold_pp: float) -> list:
+    stats_a = a.by_symbol(cell=cell)
+    stats_b = b.by_symbol(cell=cell)
+    samples_a = sum(entry["self"] for entry in stats_a.values())
+    samples_b = sum(entry["self"] for entry in stats_b.values())
+    deltas = []
+    for symbol in set(stats_a) | set(stats_b):
+        entry_a = stats_a.get(symbol, {"self": 0, "total": 0})
+        entry_b = stats_b.get(symbol, {"self": 0, "total": 0})
+        frac_a = entry_a["self"] / samples_a if samples_a else 0.0
+        frac_b = entry_b["self"] / samples_b if samples_b else 0.0
+        delta_pp = (frac_b - frac_a) * 100.0
+        if symbol not in stats_a:
+            status = "new"
+        elif symbol not in stats_b:
+            status = "gone"
+        elif delta_pp >= threshold_pp:
+            status = "grew"
+        elif delta_pp <= -threshold_pp:
+            status = "shrank"
+        else:
+            status = "~"
+        deltas.append(SymbolDelta(
+            symbol=symbol,
+            self_a=entry_a["self"], self_b=entry_b["self"],
+            total_a=entry_a["total"], total_b=entry_b["total"],
+            frac_a=frac_a, frac_b=frac_b,
+            delta_pp=delta_pp, status=status,
+        ))
+    deltas.sort(key=lambda d: (-abs(d.delta_pp), d.symbol))
+    return deltas
+
+
+def diff_profiles(a: Profile, b: Profile,
+                  threshold_pp: float = DEFAULT_THRESHOLD_PP,
+                  per_cell: bool = False) -> ProfileDiff:
+    """Diff profile ``a`` (before) against ``b`` (after)."""
+    diff = ProfileDiff(samples_a=a.total_samples, samples_b=b.total_samples)
+    diff.overall = _deltas(a, b, None, threshold_pp)
+    if per_cell:
+        for cell in sorted(set(a.cells()) | set(b.cells())):
+            diff.per_cell[cell] = _deltas(a, b, cell, threshold_pp)
+    return diff
+
+
+def _render_table(deltas: list, top: int, indent: str = "") -> list:
+    lines = [f"{indent}{'Δself':>8}  {'before':>7}  {'after':>7}  "
+             f"{'status':<6}  symbol"]
+    shown = 0
+    for delta in deltas:
+        if shown >= top:
+            break
+        if delta.status == "~" and abs(delta.delta_pp) == 0.0 and shown > 0:
+            continue  # steady symbols only pad the table
+        lines.append(
+            f"{indent}{delta.delta_pp:>+7.2f}pp  "
+            f"{delta.frac_a * 100:>6.2f}%  {delta.frac_b * 100:>6.2f}%  "
+            f"{delta.status:<6}  {delta.symbol}")
+        shown += 1
+    return lines
+
+
+def render_diff(diff: ProfileDiff, top: int = 10,
+                per_cell: bool = False) -> str:
+    """Human-readable ranking of frame-level drift, hottest first."""
+    lines = [f"profile diff: {diff.samples_a} -> {diff.samples_b} samples, "
+             f"max self-share drift {diff.max_drift_pp:.2f}pp"]
+    if diff.max_drift_pp == 0.0 and not any(
+            d.status in ("new", "gone") for d in diff.overall):
+        lines.append("no frame-level drift between the two profiles")
+        return "\n".join(lines)
+    lines.extend(_render_table(diff.overall, top))
+    if per_cell and diff.per_cell:
+        for cell, deltas in diff.per_cell.items():
+            drifted = [d for d in deltas if d.delta_pp or
+                       d.status in ("new", "gone")]
+            if not drifted:
+                continue
+            lines.append(f"cell {cell}:")
+            lines.extend(_render_table(drifted, top, indent="  "))
+    return "\n".join(lines)

@@ -143,7 +143,9 @@ def render(base_url: str, samples: Sequence[Sample], stats: dict,
          f"   http in-flight "
          f"{_fmt_count(sample_value(samples, 'repro_http_requests_in_flight'))}"
          f"   sse streams "
-         f"{_fmt_count(sample_value(samples, 'repro_sse_streams_active'))}"),
+         f"{_fmt_count(sample_value(samples, 'repro_sse_streams_active'))}"
+         f"   stalest beat "
+         f"{_fmt_seconds(stats.get('stalest_heartbeat_seconds'))}"),
         (f"{bold}cells{reset}    executed "
          f"{_fmt_count(stats.get('cells_executed', 0))}"
          f"   cached {_fmt_count(stats.get('cells_cached', 0))}"
@@ -226,6 +228,9 @@ def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--lint", action="store_true",
                         help="validate the exposition format; non-zero "
                              "exit on problems")
+    parser.add_argument("--record", default=None, metavar="FILE",
+                        help="append the scrape to a JSONL time-series "
+                             "store (feeds 'repro dash' sparklines)")
     args = parser.parse_args(argv)
     try:
         text = _fetch(args.url.rstrip("/") + "/metrics")
@@ -233,6 +238,13 @@ def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro metrics: cannot scrape {args.url}: {exc}",
               file=sys.stderr)
         return 1
+    if args.record:
+        from repro.obs.tsdb import TimeSeriesStore, samples_row
+
+        store = TimeSeriesStore(args.record)
+        store.append("metrics", samples_row(parse_exposition(text)))
+        print(f"repro metrics: scrape appended to {args.record} "
+              f"({len(store)} rows)", file=sys.stderr)
     if args.lint:
         problems = lint_exposition(text)
         for problem in problems:

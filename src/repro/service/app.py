@@ -251,6 +251,11 @@ class ServiceApp:
             "ok": not pool_dead,
             "queue_depth": stats["queue_depth"],
             "workers": workers,
+            # Seconds since the least-recently-beating running job last
+            # signalled progress (None = nothing running).  A large value
+            # with live workers means execution is stalled, not idle.
+            "stalest_heartbeat_seconds":
+                stats.get("stalest_heartbeat_seconds"),
             "last_orphan_recovery": self.store.last_recovery,
         }
 

@@ -48,6 +48,9 @@ ORPHANS_RECOVERED = REGISTRY.counter(
     "repro_jobs_orphaned_total",
     "Jobs found 'running' under a dead worker, by recovery outcome",
     ("outcome",))
+EVENTS_PRUNED = REGISTRY.counter(
+    "repro_jobstore_events_pruned_total",
+    "Per-job progress-event rows pruned from terminal jobs past the TTL")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -72,7 +75,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     cached_cells     INTEGER NOT NULL DEFAULT 0,
     events_simulated INTEGER NOT NULL DEFAULT 0,
     sim_wall_seconds REAL NOT NULL DEFAULT 0,
-    traceparent      TEXT
+    traceparent      TEXT,
+    heartbeat        REAL
 );
 CREATE INDEX IF NOT EXISTS jobs_claimable
     ON jobs (state, not_before, submitted_at);
@@ -110,6 +114,10 @@ class JobStore:
                     conn.execute("PRAGMA table_info(jobs)")}
             if "traceparent" not in cols:
                 conn.execute("ALTER TABLE jobs ADD COLUMN traceparent TEXT")
+            # Migration: the jobs row gained a worker-liveness heartbeat
+            # (updated on claim and on every per-cell progress report).
+            if "heartbeat" not in cols:
+                conn.execute("ALTER TABLE jobs ADD COLUMN heartbeat REAL")
 
     @contextmanager
     def _db(self) -> Iterator[sqlite3.Connection]:
@@ -175,9 +183,9 @@ class JobStore:
                 return None
             conn.execute(
                 "UPDATE jobs SET state = 'running', worker = ?,"
-                " attempts = attempts + 1, started_at = ?,"
+                " attempts = attempts + 1, started_at = ?, heartbeat = ?,"
                 " done_cells = 0, total_cells = 0 WHERE id = ?",
-                (worker, now, row["id"]),
+                (worker, now, now, row["id"]),
             )
             conn.execute("COMMIT")
         # Claim latency: runnable (submission, or a retry's backoff
@@ -304,20 +312,37 @@ class JobStore:
             ).fetchone()
         return bool(row and row["cancel_requested"])
 
-    def recover_orphans(self) -> list[str]:
+    def recover_orphans(self,
+                        stale_seconds: Optional[float] = None) -> list[str]:
         """Re-enqueue jobs left 'running' by a dead service process.
 
-        Called once on service startup, *before* workers start.  A job
-        whose claim already consumed its last allowed attempt fails
-        instead of looping forever.  Returns the re-enqueued job ids.
+        With ``stale_seconds=None`` (service startup, *before* workers
+        start) every running job is an orphan by definition.  With a
+        value, only jobs whose worker heartbeat went silent for longer
+        than that are recovered — which makes the pass safe to run
+        *while the service is live*: the worker pool's janitor calls it
+        periodically, so a worker thread that died mid-job (or a sibling
+        service process that crashed) gets its job back on the queue
+        without a restart.  A job whose claim already consumed its last
+        allowed attempt fails instead of looping forever.  Returns the
+        re-enqueued job ids.
         """
         recovered: list[str] = []
         failed: list[str] = []
         with self._db() as conn:
-            rows = conn.execute(
-                "SELECT id, attempts, max_attempts FROM jobs"
-                " WHERE state = 'running'",
-            ).fetchall()
+            if stale_seconds is None:
+                rows = conn.execute(
+                    "SELECT id, attempts, max_attempts FROM jobs"
+                    " WHERE state = 'running'",
+                ).fetchall()
+            else:
+                horizon = time.time() - stale_seconds
+                rows = conn.execute(
+                    "SELECT id, attempts, max_attempts FROM jobs"
+                    " WHERE state = 'running' AND"
+                    " COALESCE(heartbeat, started_at, submitted_at) < ?",
+                    (horizon,),
+                ).fetchall()
             for row in rows:
                 if row["attempts"] < row["max_attempts"]:
                     conn.execute(
@@ -344,18 +369,54 @@ class JobStore:
         ORPHANS_RECOVERED.labels(outcome="failed").inc(len(failed))
         self.last_recovery = {"at": time.time(),
                               "requeued": len(recovered),
-                              "failed": len(failed)}
+                              "failed": len(failed),
+                              "live": stale_seconds is not None}
         return recovered
+
+    def prune_events(self, ttl_seconds: float) -> int:
+        """Drop progress-event rows of terminal jobs past the TTL.
+
+        Keeps the long-lived store bounded: per-cell progress events are
+        only useful for live SSE streams and short-horizon replays, so
+        once a job has been finished for ``ttl_seconds`` its event log
+        goes (the job row — state, result, counters — stays).  SSE
+        clients connecting later still get the terminal ``done`` frame.
+        Returns the number of rows pruned (also counted on
+        ``repro_jobstore_events_pruned_total``).
+        """
+        horizon = time.time() - ttl_seconds
+        with self._db() as conn:
+            cursor = conn.execute(
+                "DELETE FROM events WHERE job_id IN"
+                " (SELECT id FROM jobs WHERE state IN"
+                "  ('succeeded', 'failed', 'cancelled')"
+                "  AND finished_at IS NOT NULL AND finished_at < ?)",
+                (horizon,),
+            )
+            pruned = cursor.rowcount
+        if pruned > 0:
+            EVENTS_PRUNED.inc(pruned)
+        return max(0, pruned)
 
     # ------------------------------------------------------------------
     # Progress
     # ------------------------------------------------------------------
     def set_progress(self, job_id: str, done: int, total: int) -> None:
+        """Record per-cell progress; doubles as the worker heartbeat."""
         with self._db() as conn:
             conn.execute(
-                "UPDATE jobs SET done_cells = ?, total_cells = ?"
-                " WHERE id = ?",
-                (done, total, job_id),
+                "UPDATE jobs SET done_cells = ?, total_cells = ?,"
+                " heartbeat = ? WHERE id = ?",
+                (done, total, time.time(), job_id),
+            )
+
+    def beat(self, job_id: str) -> None:
+        """Refresh a running job's heartbeat without touching progress."""
+        with self._db() as conn:
+            conn.execute(
+                "UPDATE jobs SET heartbeat = ? WHERE id = ?"
+                " AND state = 'running'",
+                (time.time(), job_id),
             )
 
     def add_event(self, job_id: str, payload: dict) -> int:
@@ -407,6 +468,7 @@ class JobStore:
             executed_cells=row["executed_cells"],
             cached_cells=row["cached_cells"],
             traceparent=row["traceparent"],
+            heartbeat=row["heartbeat"],
         )
 
     def get(self, job_id: str) -> JobStatus:
@@ -453,6 +515,12 @@ class JobStore:
                 " COALESCE(SUM(sim_wall_seconds), 0) AS wall"
                 " FROM jobs WHERE state = 'succeeded'",
             ).fetchone()
+            oldest_beat = conn.execute(
+                "SELECT MIN(COALESCE(heartbeat, started_at, submitted_at))"
+                " AS beat FROM jobs WHERE state = 'running'",
+            ).fetchone()
+        stalest = (round(max(0.0, time.time() - float(oldest_beat["beat"])), 3)
+                   if oldest_beat and oldest_beat["beat"] is not None else None)
         executed = int(agg["executed"])
         cached = int(agg["cached"])
         settled = executed + cached
@@ -462,6 +530,10 @@ class JobStore:
                      for state in ("queued", "running", "succeeded",
                                    "failed", "cancelled")},
             "queue_depth": int(by_state.get("queued", 0)),
+            #: Seconds since the least-recently-beating running job's
+            #: heartbeat; None when nothing is running.  The liveness
+            #: signal /healthz/ready and `repro top` surface.
+            "stalest_heartbeat_seconds": stalest,
             "cells_executed": executed,
             "cells_cached": cached,
             "cache_hit_ratio": round(cached / settled, 4) if settled else 0.0,

@@ -33,7 +33,10 @@ from typing import Optional, Sequence
 from repro.experiments.cellcache import CellCache, default_cache_dir
 from repro.service.app import ServiceApp
 from repro.service.jobstore import JobStore
-from repro.service.worker import WorkerPool
+from repro.service.worker import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    WorkerPool,
+)
 
 DEFAULT_DATA_DIR = ".repro-service"
 DEFAULT_PORT = 8321
@@ -45,6 +48,9 @@ def build_service(
     workers: int = 2,
     cache_dir: Optional[str] = None,
     recover: bool = True,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    events_ttl: Optional[float] = None,
+    tsdb_path: Optional[str] = None,
 ) -> tuple[JobStore, WorkerPool, ServiceApp]:
     """Assemble store + pool + app (shared by serve() and tests)."""
     store = JobStore(os.path.join(data_dir, "jobs.sqlite3"))
@@ -54,9 +60,17 @@ def build_service(
             print(f"[recovered {len(recovered)} orphaned job(s)]",
                   file=sys.stderr)
     cache = CellCache(cache_dir or default_cache_dir())
+    tsdb = None
+    if tsdb_path is not None:
+        from repro.obs.tsdb import TimeSeriesStore
+
+        tsdb = TimeSeriesStore(tsdb_path)
     pool = WorkerPool(
         store, workers=workers, cache=cache,
         trace_root=os.path.join(data_dir, "traces"),
+        heartbeat_timeout=heartbeat_timeout,
+        events_ttl=events_ttl,
+        tsdb=tsdb,
     )
     app = ServiceApp(store, pool=pool)
     return store, pool, app
@@ -192,6 +206,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--no-recover", action="store_true",
                         help="skip re-enqueueing jobs orphaned by a crash")
+    parser.add_argument("--heartbeat-timeout", type=float,
+                        default=DEFAULT_HEARTBEAT_TIMEOUT, metavar="SECONDS",
+                        help="running jobs silent for this long are "
+                             "requeued by the live janitor "
+                             f"(default: {DEFAULT_HEARTBEAT_TIMEOUT:.0f})")
+    parser.add_argument("--events-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="prune per-job progress events this long "
+                             "after the job finishes (default: keep all)")
+    parser.add_argument("--tsdb", default=None, metavar="FILE",
+                        help="append periodic metrics snapshots to this "
+                             "JSONL time-series store (feeds 'repro dash')")
     parser.add_argument("--no-uvicorn", action="store_true",
                         help="force the bundled stdlib server even when "
                              "uvicorn is installed")
@@ -200,6 +226,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     store, pool, app = build_service(
         args.data_dir, workers=args.workers, cache_dir=args.cache_dir,
         recover=not args.no_recover,
+        heartbeat_timeout=args.heartbeat_timeout,
+        events_ttl=args.events_ttl,
+        tsdb_path=args.tsdb,
     )
     pool.start()
     print(f"[repro-serve] {pool.num_workers} worker(s), "

@@ -22,7 +22,15 @@ Guard rails, all first-class:
   penalty, so a redeploy loses zero simulation work;
 - **progress** — every settled cell posts an event to the store (the
   SSE feed), and traced jobs additionally stream sampled telemetry
-  records through a :class:`~repro.obs.progress.TraceTailer`.
+  records through a :class:`~repro.obs.progress.TraceTailer`;
+- **janitor** — one housekeeping thread per pool periodically recovers
+  jobs whose worker heartbeat went silent (live orphan recovery, no
+  restart needed), prunes terminal jobs' event logs past the TTL, and
+  appends a metrics snapshot to the time-series store for `repro dash`.
+
+Jobs submitted with ``profile=true`` run with the sampling profiler on
+(observation-only: the result rows stay bit-identical) and carry the
+merged collapsed-stack profile in their result payload.
 """
 
 from __future__ import annotations
@@ -49,6 +57,13 @@ from repro.service.jobstore import JobStore
 
 #: How long an idle worker sleeps between claim attempts.
 DEFAULT_POLL_SECONDS = 0.1
+#: A running job whose heartbeat is older than this is an orphan the
+#: janitor may recover while the service is live.  Deliberately generous:
+#: a healthy worker beats on every settled cell, so minutes of silence
+#: means the thread (or a sibling process) is gone, not slow.
+DEFAULT_HEARTBEAT_TIMEOUT = 600.0
+#: How often the janitor thread wakes up.
+DEFAULT_JANITOR_INTERVAL = 30.0
 #: Throttle for the cancel-flag poll inside should_stop (seconds).
 CANCEL_POLL_SECONDS = 0.25
 #: Keep every Nth telemetry sample when forwarding to the SSE feed.
@@ -145,14 +160,23 @@ class WorkerPool:
         cache: Optional[CellCache] = None,
         trace_root: Optional[str] = None,
         poll_seconds: float = DEFAULT_POLL_SECONDS,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        events_ttl: Optional[float] = None,
+        janitor_interval: float = DEFAULT_JANITOR_INTERVAL,
+        tsdb: Optional[object] = None,
     ) -> None:
         self.store = store
         self.cache = cache
         self.trace_root = trace_root
         self.poll_seconds = poll_seconds
         self.num_workers = max(1, workers)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.events_ttl = events_ttl
+        self.janitor_interval = janitor_interval
+        self.tsdb = tsdb  # a repro.obs.tsdb.TimeSeriesStore, or None
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._janitor: Optional[threading.Thread] = None
         self.jobs_run = 0
 
     # ------------------------------------------------------------------
@@ -166,6 +190,10 @@ class WorkerPool:
                 target=self._loop, name=name, args=(name,), daemon=True)
             thread.start()
             self._threads.append(thread)
+        self._janitor = threading.Thread(
+            target=self._janitor_loop,
+            name=f"repro-janitor-{os.getpid()}", daemon=True)
+        self._janitor.start()
 
     def stop(self, timeout: Optional[float] = 30.0) -> None:
         """Graceful drain: finish in-flight cells, requeue their jobs."""
@@ -173,6 +201,9 @@ class WorkerPool:
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = []
+        if self._janitor is not None:
+            self._janitor.join(timeout=timeout)
+            self._janitor = None
 
     @property
     def alive(self) -> int:
@@ -193,6 +224,38 @@ class WorkerPool:
                 continue
             self.jobs_run += 1
             self._run_job(worker_name, job)
+
+    def _janitor_loop(self) -> None:
+        """Periodic housekeeping; every pass is exception-guarded so a
+        transient DB error can never kill the janitor."""
+        while not self._stop.wait(self.janitor_interval):
+            self.janitor_pass()
+
+    def janitor_pass(self) -> None:
+        """One housekeeping sweep (public so tests can call it directly)."""
+        try:
+            recovered = self.store.recover_orphans(
+                stale_seconds=self.heartbeat_timeout)
+            if recovered:
+                log.warning("janitor requeued %d stale job(s): %s",
+                            len(recovered), ", ".join(recovered))
+        except Exception as exc:  # noqa: BLE001 — housekeeping is best-effort
+            log.warning("janitor orphan pass failed: %s", exc)
+        if self.events_ttl is not None:
+            try:
+                pruned = self.store.prune_events(self.events_ttl)
+                if pruned:
+                    log.info("janitor pruned %d event row(s) past the "
+                             "%.0fs TTL", pruned, self.events_ttl)
+            except Exception as exc:  # noqa: BLE001
+                log.warning("janitor event prune failed: %s", exc)
+        if self.tsdb is not None:
+            try:
+                from repro.obs.tsdb import metrics_row
+
+                self.tsdb.append("metrics", metrics_row(REGISTRY.snapshot()))
+            except Exception as exc:  # noqa: BLE001
+                log.warning("janitor metrics scrape failed: %s", exc)
 
     def _trace_dir_for(self, job: JobStatus) -> Optional[str]:
         if not (job.request.trace and self.trace_root):
@@ -263,7 +326,22 @@ class WorkerPool:
             # Every cell came from the content-addressed cache: this
             # submission was a pure dedupe hit (CI asserts on this).
             JOBS_DEDUPED.inc()
-        self.store.complete(job.id, result_to_dict(result))
+        payload = result_to_dict(result)
+        if (job.request.profile and stats is not None
+                and stats.stack_profiles):
+            # Only profiled jobs get the key at all, so an unprofiled
+            # service result still compares bit-identical to a direct run.
+            from repro.obs.profiler import DEFAULT_HZ, Profile
+
+            merged = Profile()
+            for text in stats.stack_profiles.values():
+                merged.merge(Profile.parse(text))
+            payload["profile"] = {
+                "hz": DEFAULT_HZ,
+                "samples": merged.total_samples,
+                "collapsed": merged.collapsed(),
+            }
+        self.store.complete(job.id, payload)
         log.info("job %s succeeded (%d executed, %d cached)", job.id,
                  stats.executed if stats else 0,
                  stats.cache_hits if stats else 0,

@@ -14,7 +14,7 @@ def test_help_lists_every_subcommand(capsys):
     assert main(["--help"]) == 0
     out = capsys.readouterr().out
     for command in ("experiment", "analyze", "validate", "serve",
-                    "top", "metrics"):
+                    "top", "metrics", "profile", "dash"):
         assert command in out
     assert "--log-level" in out
 
@@ -46,7 +46,8 @@ def test_experiment_subcommand_delegates(capsys):
 
 @pytest.mark.parametrize("subcommand", ["experiment", "analyze",
                                         "validate", "serve",
-                                        "top", "metrics"])
+                                        "top", "metrics", "profile",
+                                        "dash"])
 def test_each_subcommand_wires_to_a_real_parser(subcommand, capsys):
     # argparse exits 0 on --help; reaching it proves the lazy import
     # resolved and the delegation passed arguments through.

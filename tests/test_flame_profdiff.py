@@ -1,0 +1,142 @@
+"""Flamegraph rendering and symbol-level profile diffing.
+
+Both consume the profiler's collapsed-stack format and must be fully
+self-contained: the SVG/HTML output may not reference any external
+resource (CI ships it as an artifact viewed offline), and the diff must
+be exactly empty for identical inputs (CI asserts `repro profile diff`
+is clean when nothing changed).
+"""
+
+import pytest
+
+from repro.obs.flame import build_tree, render_html, render_svg
+from repro.obs.profdiff import diff_profiles, render_diff
+from repro.obs.profiler import Profile
+
+
+@pytest.fixture
+def profile():
+    p = Profile()
+    p.add("mcf/baseline", ("exec.run", "engine.step", "channel.issue"), 40)
+    p.add("mcf/baseline", ("exec.run", "engine.step"), 25)
+    p.add("mcf/dap", ("exec.run", "dap.decide"), 35)
+    p.meta["hz"] = 101
+    return p
+
+
+# ----------------------------------------------------------------------
+# Flamegraphs
+# ----------------------------------------------------------------------
+
+def test_build_tree_nests_frames_under_cell_lanes(profile):
+    tree = build_tree(profile)
+    assert tree["value"] == 100
+    lanes = tree["children"]
+    assert set(lanes) == {"cell:mcf/baseline", "cell:mcf/dap"}
+    baseline = lanes["cell:mcf/baseline"]
+    assert baseline["value"] == 65
+    step = baseline["children"]["exec.run"]["children"]["engine.step"]
+    assert step["value"] == 65
+    assert step["children"]["channel.issue"]["value"] == 40
+
+
+def test_svg_is_self_contained_and_names_frames(profile):
+    svg = render_svg(profile, title="unit flame")
+    assert svg.startswith("<svg")
+    assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+    for needle in ("cell:mcf/dap", "engine.step", "dap.decide", "unit flame"):
+        assert needle in svg
+    # Self-containment: no fetches of any kind.
+    for forbidden in ("http://", "https://", "<script src", "@import",
+                      "url("):
+        offenders = [i for i in range(len(svg))
+                     if svg.startswith(forbidden, i)]
+        # the xmlns namespace *identifier* is the one allowed http://
+        if forbidden == "http://":
+            assert all("w3.org" in svg[i:i + 40] for i in offenders)
+        else:
+            assert not offenders
+    # Zoom script rides along inline.
+    assert "<script>" in svg and "</script>" in svg
+
+
+def test_html_wraps_svg_in_offline_page(profile):
+    html = render_html(profile, title="unit flame", note="n=3")
+    assert html.lstrip().startswith("<!DOCTYPE html>")
+    assert "<svg" in html and "unit flame" in html
+    assert "<link" not in html and "src=" not in html
+
+
+def test_empty_profile_renders_placeholder():
+    svg = render_svg(Profile(), title="empty")
+    assert "<svg" in svg  # degrades gracefully, never raises
+
+
+# ----------------------------------------------------------------------
+# Profile diffs
+# ----------------------------------------------------------------------
+
+def test_identical_profiles_diff_clean(profile):
+    diff = diff_profiles(profile, profile)
+    assert diff.max_drift_pp == 0.0
+    assert all(d.status == "~" and d.delta_pp == 0.0 for d in diff.overall)
+    assert "no frame-level drift" in render_diff(diff)
+
+
+def test_diff_ranks_growth_shrinkage_new_and_gone():
+    before = Profile()
+    before.add("c", ("m.hot",), 60)
+    before.add("c", ("m.cooling",), 30)
+    before.add("c", ("m.gone",), 10)
+    after = Profile()
+    after.add("c", ("m.hot",), 80)
+    after.add("c", ("m.cooling",), 15)
+    after.add("c", ("m.fresh",), 5)
+
+    diff = diff_profiles(before, after)
+    by_symbol = {d.symbol: d for d in diff.overall}
+    assert by_symbol["m.hot"].status == "grew"
+    assert by_symbol["m.hot"].delta_pp == pytest.approx(20.0)
+    assert by_symbol["m.cooling"].status == "shrank"
+    assert by_symbol["m.gone"].status == "gone"
+    assert by_symbol["m.fresh"].status == "new"
+    # Ranked by |delta|: the 20pp swing outranks the 15pp one.
+    assert diff.top(1)[0].symbol == "m.hot"
+    rendered = render_diff(diff)
+    assert "m.hot" in rendered and "grew" in rendered
+
+
+def test_profile_top_subcommand_ranks_symbols(profile, tmp_path, capsys):
+    from repro.obs.profcli import profile_main
+
+    path = tmp_path / "p.collapsed"
+    path.write_text(profile.collapsed(), encoding="utf-8")
+
+    assert profile_main(["top", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "100 samples across 2 cells" in out
+    assert "engine.step" in out
+
+    assert profile_main(["top", str(path), "--cell", "mcf/dap"]) == 0
+    out = capsys.readouterr().out
+    assert "67 samples" not in out and "35 samples" in out
+    assert "dap.decide" in out and "engine.step" not in out
+
+    assert profile_main(["top", str(path), "--cell", "nope"]) == 2
+    assert "no cell 'nope'" in capsys.readouterr().err
+
+
+def test_per_cell_breakdown_isolates_drift():
+    before = Profile()
+    before.add("cellA", ("m.f",), 50)
+    before.add("cellB", ("m.g",), 50)
+    after = Profile()
+    after.add("cellA", ("m.f",), 80)  # only cellA drifted
+    after.add("cellB", ("m.g",), 50)
+
+    diff = diff_profiles(before, after, per_cell=True)
+    assert "cellA" in diff.per_cell
+    drifted = {d.symbol for d in diff.per_cell["cellA"]}
+    assert "m.f" in drifted
+    assert not any(d.symbol == "m.g" and abs(d.delta_pp) > 1.0
+                   for d in diff.per_cell.get("cellB", []))

@@ -230,3 +230,83 @@ def test_stats_aggregates_dedupe_and_throughput(store):
     assert stats["cache_hit_ratio"] == 0.5
     assert stats["events_simulated"] == 1000
     assert stats["events_per_sec"] > 0
+
+
+# ----------------------------------------------------------------------
+# Worker heartbeat and live orphan recovery
+# ----------------------------------------------------------------------
+
+def test_claim_sets_heartbeat_and_progress_refreshes_it(store):
+    job = store.submit(_request())
+    claimed = store.claim("w1")
+    assert claimed.heartbeat is not None
+    assert abs(claimed.heartbeat - time.time()) < 5.0
+
+    time.sleep(0.02)
+    store.set_progress(job.id, 1, 4)
+    assert store.get(job.id).heartbeat > claimed.heartbeat
+
+    time.sleep(0.02)
+    before = store.get(job.id).heartbeat
+    store.beat(job.id)
+    assert store.get(job.id).heartbeat > before
+
+
+def test_heartbeat_none_until_claimed_and_visible_in_stats(store):
+    job = store.submit(_request())
+    assert store.get(job.id).heartbeat is None
+    assert store.stats()["stalest_heartbeat_seconds"] is None
+
+    store.claim("w1")
+    stalest = store.stats()["stalest_heartbeat_seconds"]
+    assert stalest is not None and stalest < 5.0
+
+
+def test_live_recovery_only_touches_stale_heartbeats(store):
+    fresh = store.submit(_request(max_attempts=3))
+    store.claim("w1")
+    # A freshly-beating job survives a live janitor pass...
+    assert store.recover_orphans(stale_seconds=60.0) == []
+    assert store.get(fresh.id).state == "running"
+    # ...but a silent one is requeued (stale_seconds < 0 makes the
+    # horizon lie in the future, so any heartbeat counts as stale).
+    assert store.recover_orphans(stale_seconds=-1.0) == [fresh.id]
+    assert store.get(fresh.id).state == "queued"
+    assert store.last_recovery["live"] is True
+
+
+def test_startup_recovery_still_requeues_everything(store):
+    job = store.submit(_request(max_attempts=2))
+    store.claim("w1")
+    # No stale_seconds: startup semantics, heartbeat age irrelevant.
+    assert store.recover_orphans() == [job.id]
+
+
+# ----------------------------------------------------------------------
+# Event-log retention
+# ----------------------------------------------------------------------
+
+def test_prune_events_drops_only_old_terminal_jobs(store):
+    from repro.obs.metrics import REGISTRY
+
+    done = store.submit(_request())
+    store.claim("w1")
+    store.add_event(done.id, {"t": "cell", "label": "mcf/baseline"})
+    store.complete(done.id, _result())
+    live = store.submit(_request(workloads=("milc",)))
+    store.claim("w1")
+    store.add_event(live.id, {"t": "cell", "label": "milc/baseline"})
+
+    # Young terminal job: inside the TTL, nothing pruned.
+    assert store.prune_events(ttl_seconds=3600) == 0
+    before = REGISTRY.value("repro_jobstore_events_pruned_total")
+    # ttl < 0 puts the horizon in the future: the finished job's rows
+    # go, the running job's rows stay.
+    pruned = store.prune_events(ttl_seconds=-1)
+    assert pruned > 0
+    assert store.events_since(done.id) == []
+    assert len(store.events_since(live.id)) > 0
+    after = REGISTRY.value("repro_jobstore_events_pruned_total")
+    assert after - before == pruned
+    # The job row itself survives pruning — only the event log goes.
+    assert store.get(done.id).state == "succeeded"

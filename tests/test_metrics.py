@@ -204,6 +204,67 @@ def test_default_buckets_are_ascending():
 
 
 # ----------------------------------------------------------------------
+# Histogram bucket/label edge cases (round-tripped through the parser)
+# ----------------------------------------------------------------------
+
+def test_boundary_observations_land_in_their_le_bucket(registry):
+    # Prometheus buckets are `le` — less-than-OR-EQUAL: an observation
+    # exactly on a bound belongs to that bucket, not the next one.
+    h = registry.histogram("b_seconds", "bounds", buckets=(1.0, 2.0))
+    h.observe(1.0)
+    h.observe(2.0)
+    samples = {(s.name, s.labels.get("le")): s.value
+               for s in parse_exposition(registry.render())}
+    assert samples[("b_seconds_bucket", "1")] == 1
+    assert samples[("b_seconds_bucket", "2")] == 2
+    assert samples[("b_seconds_bucket", "+Inf")] == 2
+    assert samples[("b_seconds_count", None)] == 2
+
+
+def test_labelled_histogram_children_round_trip_independently(registry):
+    fam = registry.histogram("lh_seconds", "labelled", ("route",),
+                             buckets=(0.5,))
+    fam.labels(route="/jobs").observe(0.1)
+    fam.labels(route="/jobs").observe(9.0)
+    fam.labels(route="/stats").observe(0.2)
+    text = registry.render()
+    assert lint_exposition(text) == []
+
+    samples = {(s.name, s.labels.get("route"), s.labels.get("le")): s.value
+               for s in parse_exposition(text)}
+    assert samples[("lh_seconds_bucket", "/jobs", "0.5")] == 1
+    assert samples[("lh_seconds_bucket", "/jobs", "+Inf")] == 2
+    assert samples[("lh_seconds_count", "/jobs", None)] == 2
+    assert samples[("lh_seconds_sum", "/jobs", None)] == pytest.approx(9.1)
+    assert samples[("lh_seconds_bucket", "/stats", "+Inf")] == 1
+    # The per-child cumulative series each pass the linter's
+    # monotonicity and +Inf==_count checks independently.
+    assert samples[("lh_seconds_count", "/stats", None)] == 1
+
+
+def test_histogram_with_observation_beyond_last_finite_bucket(registry):
+    h = registry.histogram("o_seconds", "overflow", buckets=(0.1,))
+    h.observe(1e6)
+    samples = {(s.name, s.labels.get("le")): s.value
+               for s in parse_exposition(registry.render())}
+    assert samples[("o_seconds_bucket", "0.1")] == 0
+    assert samples[("o_seconds_bucket", "+Inf")] == 1
+    assert samples[("o_seconds_sum", None)] == pytest.approx(1e6)
+
+
+def test_histogram_bucket_bounds_render_canonically(registry):
+    # Integral bounds render without a trailing .0 so the exposition is
+    # stable across Python float formatting; the parser reads them back.
+    registry.histogram("c_seconds", "canon",
+                       buckets=(0.025, 1.0, 10.0)).observe(0.5)
+    text = registry.render()
+    les = [s.labels["le"] for s in parse_exposition(text)
+           if s.name == "c_seconds_bucket"]
+    assert les == ["0.025", "1", "10", "+Inf"]
+    assert lint_exposition(text) == []
+
+
+# ----------------------------------------------------------------------
 # Concurrency: scrapes are atomic snapshots
 # ----------------------------------------------------------------------
 

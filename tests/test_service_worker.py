@@ -169,3 +169,85 @@ def test_recovered_orphan_resumes_from_cache(store, pool):
     pool.start()
     job = _wait_terminal(store, job.id)
     assert job.state == "succeeded"
+
+
+# ----------------------------------------------------------------------
+# Profiled jobs
+# ----------------------------------------------------------------------
+
+def test_profiled_job_attaches_collapsed_profile_to_result(
+        tmp_path, store):
+    from repro.obs.profiler import Profile
+
+    pool = WorkerPool(store, workers=1,
+                      cache=api.default_cache(str(tmp_path / "cache")),
+                      poll_seconds=0.02)
+    pool.start()
+    try:
+        job = store.submit(_request(profile=True))
+        job = _wait_terminal(store, job.id)
+        plain = store.submit(_request())
+        plain = _wait_terminal(store, plain.id)
+    finally:
+        pool.stop(timeout=120)
+    assert job.state == "succeeded"
+    assert job.executed_cells == 2
+
+    result = store.result(job.id)
+    attached = result["profile"]
+    assert attached["hz"] > 0
+    profile = Profile.parse(attached["collapsed"])
+    assert profile.total_samples == attached["samples"] > 0
+    assert len(profile.cells()) == 2  # per-cell attribution survived
+
+    # An unprofiled submission has no "profile" key at all, so the
+    # service's bit-identical result comparisons are unaffected.
+    assert plain.state == "succeeded"
+    assert "profile" not in store.result(plain.id)
+
+    # The profiled result's *rows* are still bit-identical to an
+    # unprofiled direct run.
+    direct = api.run_experiment(_request(),
+                                cache=str(tmp_path / "direct-cache"))
+    assert result["rows"] == [list(r) for r in direct.rows]
+
+
+# ----------------------------------------------------------------------
+# The janitor
+# ----------------------------------------------------------------------
+
+def test_janitor_recovers_stale_jobs_and_prunes_events(tmp_path, store):
+    from repro.obs.tsdb import TimeSeriesStore
+
+    tsdb = TimeSeriesStore(tmp_path / "ts.jsonl")
+    # Threads never started: janitor_pass() is driven directly, with
+    # horizons in the future so "stale" and "expired" are immediate.
+    pool = WorkerPool(store, workers=1, cache=None,
+                      heartbeat_timeout=-1.0, events_ttl=-1.0, tsdb=tsdb)
+
+    stale = store.submit(_request(max_attempts=3))
+    store.claim("dead-worker")
+    done = store.submit(_request(workloads=("milc",)))
+    store.claim("dead-worker")
+    store.add_event(done.id, {"t": "cell", "label": "milc/baseline"})
+    store.complete(done.id, {
+        "experiment": "x", "headers": [], "rows": [], "notes": "",
+        "stats": {"total": 1, "executed": 1, "cache_hits": 0,
+                  "replayed_failures": 0, "failed": 0, "elapsed": 0.1,
+                  "events": 10, "events_per_sec": 100.0}})
+
+    pool.janitor_pass()
+
+    assert store.get(stale.id).state == "queued"      # live recovery
+    assert store.events_since(done.id) == []          # TTL prune
+    rows = tsdb.rows(kind="metrics")                  # metrics scrape
+    assert len(rows) == 1 and rows[0]["data"]
+
+
+def test_janitor_with_fresh_heartbeats_is_a_no_op(store):
+    pool = WorkerPool(store, workers=1, cache=None,
+                      heartbeat_timeout=600.0)
+    job = store.submit(_request())
+    store.claim("live-worker")
+    pool.janitor_pass()
+    assert store.get(job.id).state == "running"  # untouched

@@ -1,0 +1,198 @@
+"""The JSONL time-series store and the offline HTML observatory.
+
+The tsdb contract: O(1) appends, bounded retention, tolerance of a torn
+final line (a crash mid-append must not poison history).  The dash
+contract: one fully self-contained HTML file — every byte inline, no
+network fetches of any kind — assembling BENCH trajectory, flamegraph,
+profile deltas, sparklines, and validation verdicts.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.dash import gather_dash_data, render_dash
+from repro.obs.profiler import Profile
+from repro.obs.tsdb import (
+    TimeSeriesStore,
+    bench_row,
+    metrics_row,
+    samples_row,
+)
+
+
+# ----------------------------------------------------------------------
+# Time-series store
+# ----------------------------------------------------------------------
+
+def test_append_and_read_back_rows(tmp_path):
+    store = TimeSeriesStore(tmp_path / "ts.jsonl")
+    store.append("metrics", {"jobs": 1}, ts=100.0)
+    store.append("bench", {"events_per_sec": 5000.0}, ts=200.0)
+    assert len(store) == 2
+    assert [r["kind"] for r in store.rows()] == ["metrics", "bench"]
+    assert store.rows(kind="bench")[0]["data"]["events_per_sec"] == 5000.0
+    # A second handle over the same file sees the same history.
+    assert len(TimeSeriesStore(store.path)) == 2
+
+
+def test_series_extracts_numeric_history(tmp_path):
+    store = TimeSeriesStore(tmp_path / "ts.jsonl")
+    for i in range(3):
+        store.append("metrics", {"depth": float(i), "name": "x",
+                                 "flag": True}, ts=float(i))
+    assert store.series("metrics", "depth") == [(0.0, 0.0), (1.0, 1.0),
+                                                (2.0, 2.0)]
+    assert store.series("metrics", "name") == []   # non-numeric excluded
+    assert store.series("metrics", "flag") == []   # bools excluded
+
+
+def test_retention_bounds_row_count(tmp_path):
+    store = TimeSeriesStore(tmp_path / "ts.jsonl", max_rows=5)
+    for i in range(40):
+        store.append("metrics", {"i": i}, ts=float(i))
+    # Prune triggers at 25% overshoot, so the store stays near max_rows.
+    assert len(store) <= 7
+    kept = [r["data"]["i"] for r in store.rows()]
+    assert kept == sorted(kept)      # newest rows survive, in order
+    assert kept[-1] == 39
+
+
+def test_age_based_prune_and_torn_final_line(tmp_path):
+    store = TimeSeriesStore(tmp_path / "ts.jsonl", max_age_seconds=10.0)
+    store.append("metrics", {"i": 0}, ts=0.0)
+    store.append("metrics", {"i": 1}, ts=100.0)
+    dropped = store.prune(now=105.0)
+    assert dropped == 1
+    assert [r["data"]["i"] for r in store.rows()] == [1]
+    # A torn final line (crash mid-append) is skipped, not fatal.
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "metrics", "ts": 200.0, "da')
+    assert [r["data"]["i"] for r in store.rows()] == [1]
+
+
+def test_row_builders_flatten_registry_and_bench_shapes():
+    snapshot = {
+        "jobs_total": [{"labels": {"outcome": "ok"}, "value": 3.0},
+                       {"labels": {"outcome": "bad"}, "value": 1.0}],
+        "latency_seconds": [{"labels": {}, "sum": 2.5, "count": 4,
+                             "buckets": {"1.0": 3, "+Inf": 4}}],
+    }
+    row = metrics_row(snapshot)
+    assert row["jobs_total"] == 4.0
+    assert row["latency_seconds_count"] == 4
+    assert row["latency_seconds_sum"] == 2.5
+
+    from repro.obs.metrics import Sample
+    samples = [Sample("a_total", {}, 2.0), Sample("a_total", {"k": "v"}, 3.0),
+               Sample("h_bucket", {"le": "1"}, 9.0)]
+    flat = samples_row(samples)
+    assert flat["a_total"] == 5.0
+    assert "h_bucket" not in flat  # buckets excluded from sparklines
+
+    record = {"run_id": "r", "events_per_sec": 100.0, "total_events": 10,
+              "total_wall_seconds": 0.1, "git_sha": "abc", "scale": "smoke"}
+    row = bench_row(record, n=4)
+    assert row["n"] == 4 and row["events_per_sec"] == 100.0
+
+
+# ----------------------------------------------------------------------
+# The dash
+# ----------------------------------------------------------------------
+
+def _bench_record(events_per_sec, run_id="run"):
+    return {"schema": 1, "run_id": run_id, "git_sha": "cafe" * 10,
+            "scale": "smoke", "events_per_sec": events_per_sec,
+            "total_events": 10000, "total_wall_seconds": 1.5,
+            "created_unix": 1700000000,
+            "experiments": {"smoke": {"wall_seconds": 1.5, "events": 10000,
+                                      "events_per_sec": events_per_sec}}}
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A fake repo root: two BENCH milestones, two committed profiles,
+    verdicts, and a tsdb with some history."""
+    (tmp_path / "BENCH_3.json").write_text(
+        json.dumps(_bench_record(90000.0, "three")), encoding="utf-8")
+    (tmp_path / "BENCH_4.json").write_text(
+        json.dumps(_bench_record(130000.0, "four")), encoding="utf-8")
+
+    profiles = tmp_path / "profiles"
+    profiles.mkdir()
+    old = Profile()
+    old.add("mcf/baseline", ("exec.run", "engine.step"), 50)
+    old.add("mcf/baseline", ("exec.run", "channel.issue"), 50)
+    profiles.joinpath("BENCH_3.collapsed").write_text(
+        old.collapsed(), encoding="utf-8")
+    new = Profile()
+    new.add("mcf/baseline", ("exec.run", "engine.step"), 80)
+    new.add("mcf/baseline", ("exec.run", "channel.issue"), 20)
+    profiles.joinpath("BENCH_4.collapsed").write_text(
+        new.collapsed(), encoding="utf-8")
+
+    (tmp_path / "VERDICTS.json").write_text(json.dumps({
+        "schema": 1, "scale": "smoke",
+        "experiments": {"fig06": {"title": "Fig. 6", "verdict": "pass",
+                                  "claims": [{"status": "pass"}]}},
+        "summary": {"claims": 1, "passed": 1, "failed": 0, "errors": 0,
+                    "experiments": 1},
+    }), encoding="utf-8")
+
+    tsdb = TimeSeriesStore(tmp_path / "ts.jsonl")
+    for i in range(3):
+        tsdb.append("metrics", {"repro_queue_depth": float(i)}, ts=float(i))
+    return tmp_path
+
+
+def test_gather_defaults_to_committed_profiles(repo):
+    data = gather_dash_data(repo, tsdb_path=repo / "ts.jsonl")
+    assert [n for n, _ in data["bench"]] == [3, 4]
+    assert data["profile_path"].name == "BENCH_4.collapsed"
+    assert data["baseline_path"].name == "BENCH_3.collapsed"
+    assert data["verdicts"]["summary"]["passed"] == 1
+    assert len(data["tsdb"]) == 3
+
+
+def test_dash_html_is_complete_and_self_contained(repo):
+    data = gather_dash_data(repo, tsdb_path=repo / "ts.jsonl")
+    page = render_dash(data)
+    assert page.startswith("<!DOCTYPE html>")
+    # Every section made it in.
+    for needle in ("BENCH_3", "BENCH_4", "Throughput trajectory",
+                   "Flamegraph", "Top profile deltas", "Metrics history",
+                   "Validation verdicts", "repro_queue_depth",
+                   "engine.step"):
+        assert needle in page, needle
+    # The BENCH_3 -> BENCH_4 delta tile shows the speedup direction.
+    assert "▲" in page
+    # Self-containment: nothing on the page causes a network fetch.
+    assert "<script src" not in page
+    assert "<link" not in page
+    assert "@import" not in page
+    assert "fetch(" not in page
+    lowered = page.lower()
+    for i in range(len(lowered)):
+        if lowered.startswith("http://", i) or lowered.startswith(
+                "https://", i):
+            # Only the SVG xmlns identifier (not a fetch) may remain.
+            assert "w3.org" in page[i:i + 40]
+
+
+def test_dash_degrades_without_artifacts(tmp_path):
+    data = gather_dash_data(tmp_path)
+    page = render_dash(data)
+    assert "no BENCH records" in page
+    assert "no profile" in page
+
+
+def test_dash_main_writes_file(repo, capsys):
+    from repro.obs.dash import dash_main
+
+    out = repo / "dash.html"
+    rc = dash_main(["--repo", str(repo), "--out", str(out),
+                    "--tsdb", str(repo / "ts.jsonl")])
+    assert rc == 0
+    assert out.is_file()
+    assert "wrote" in capsys.readouterr().out
+    assert "<svg" in out.read_text(encoding="utf-8")
