@@ -16,6 +16,7 @@ import os
 import time
 
 from repro.api import MixCell, TelemetryConfig, default_cache, run_cells
+from repro.backends import BACKEND_NAMES
 from repro.experiments.common import get_scale, scaled_config
 from repro.obs.bench import build_bench_record, write_bench
 from repro.obs.profiler import DEFAULT_HZ, Profile
@@ -48,6 +49,9 @@ def main(argv=None):
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
     parser.add_argument("--cache-dir", default=None, metavar="DIR")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="simulation backend (python/numpy/auto); "
+                             "bit-identical results, different speed")
     parser.add_argument("--trace", action="store_true",
                         help="stream JSONL telemetry traces + manifests")
     parser.add_argument("--probe-interval", type=int, metavar="CYCLES",
@@ -83,7 +87,8 @@ def main(argv=None):
     ]
     t0 = time.time()
     results, stats = run_cells(cells, jobs=args.jobs, cache=cache,
-                               profile_hz=DEFAULT_HZ if args.profile else 0)
+                               profile_hz=DEFAULT_HZ if args.profile else 0,
+                               backend=args.backend)
     wall = time.time() - t0
 
     for name in args.workloads:

@@ -1,0 +1,141 @@
+"""Backend base class and the intra-run materialized-trace store.
+
+A *backend* owns the two synthesis-heavy, order-unobservable stages of a
+simulation cell — trace materialization and warmup installation — behind
+a contract of **bit-identical results**: every backend must produce the
+exact tuple stream :func:`repro.workloads.synthetic.generate_trace`
+yields and leave the memory-side cache in the exact state
+:func:`~repro.workloads.synthetic.warm_lines` would, entry for entry.
+The event loop itself is backend-independent (event ordering is
+observable; it cannot be batched without changing results).
+
+Backends share a :class:`TraceStore`: a content-addressed in-process
+memo of materialized traces, so the many cells that replay the same
+(workload, seed) pair within one invocation — the baseline/dap cell
+pairs of a sweep, alone-IPC references that share core 0's trace —
+generate each trace once and share the list by reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.workloads.mixes import Mix
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import WorkloadProfile, core_base_line
+
+
+class TraceStore:
+    """In-process content-addressed store of materialized traces.
+
+    Keys carry everything that determines the generated stream —
+    ``(profile name, num_refs, footprint scale, seed, base line)`` — so
+    a hit is exact by construction.  Entries are immutable tuple lists
+    shared by reference; consumers wrap them in ``iter()`` and never
+    mutate.  ``generated`` / ``reused`` feed the engine's per-run
+    :class:`~repro.experiments.cellcache.ExecStats` counters.
+
+    The store is bounded (``max_refs`` total stored references, FIFO
+    eviction) so a long-lived process — a service worker, a pytest
+    session — cannot grow it without limit; paper-scale traces stream
+    and never enter the store at all.
+    """
+
+    __slots__ = ("generated", "reused", "max_refs", "_traces", "_trace_refs",
+                 "_tables", "_table_refs")
+
+    DEFAULT_MAX_REFS = 4_000_000
+
+    def __init__(self, max_refs: int = DEFAULT_MAX_REFS) -> None:
+        self.generated = 0
+        self.reused = 0
+        self.max_refs = max_refs
+        self._traces: dict[tuple, tuple[list, int]] = {}
+        self._trace_refs = 0
+        self._tables: dict[tuple, tuple[Any, int]] = {}
+        self._table_refs = 0
+
+    def trace(self, key: tuple, build: Callable[[], list]) -> list:
+        """The materialized trace for ``key``, building it on first use."""
+        hit = self._traces.get(key)
+        if hit is not None:
+            self.reused += 1
+            return hit[0]
+        entry = build()
+        self.generated += 1
+        cost = len(entry)
+        if cost <= self.max_refs:
+            while self._trace_refs + cost > self.max_refs and self._traces:
+                _, (_, old_cost) = self._traces.popitem()
+                self._trace_refs -= old_cost
+            self._traces[key] = (entry, cost)
+            self._trace_refs += cost
+        return entry
+
+    def table(self, key: tuple, build: Callable[[], Any],
+              cost: Callable[[Any], int] = len) -> Any:
+        """Memoize an auxiliary table (warm-set columns), same bound."""
+        hit = self._tables.get(key)
+        if hit is not None:
+            return hit[0]
+        entry = build()
+        weight = cost(entry)
+        if weight <= self.max_refs:
+            while self._table_refs + weight > self.max_refs and self._tables:
+                _, (_, old_cost) = self._tables.popitem()
+                self._table_refs -= old_cost
+            self._tables[key] = (entry, weight)
+            self._table_refs += weight
+        return entry
+
+
+class SimBackend:
+    """One trace-synthesis / warmup strategy (bit-identical by contract).
+
+    Subclasses implement ``_build_trace`` (materialize one core's trace
+    as a list of ``(gap, is_write, line)`` tuples) and the warm-set
+    installers; the shared :class:`TraceStore` front caches the traces.
+    """
+
+    __slots__ = ("store",)
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(self, store: Optional[TraceStore] = None) -> None:
+        self.store = store if store is not None else TraceStore()
+
+    # -- trace materialization -----------------------------------------
+    def trace(self, profile: WorkloadProfile, num_refs: int,
+              base_line: int = 0, scale: float = 1.0,
+              seed: int = 0) -> list:
+        """One materialized trace, served from the store when possible."""
+        key = (profile.name, num_refs, scale, seed, base_line)
+        return self.store.trace(
+            key,
+            lambda: self._build_trace(profile, num_refs, base_line, scale,
+                                      seed))
+
+    def mix_traces(self, mix: Mix, refs_per_core: int,
+                   scale: float) -> list[list]:
+        """One materialized trace per core, disjoint address spaces."""
+        return [
+            self.trace(get_profile(member), refs_per_core,
+                       base_line=core_base_line(core_id), scale=scale,
+                       seed=core_id)
+            for core_id, member in enumerate(mix.members)
+        ]
+
+    def _build_trace(self, profile: WorkloadProfile, num_refs: int,
+                     base_line: int, scale: float, seed: int) -> list:
+        raise NotImplementedError
+
+    # -- warmup --------------------------------------------------------
+    def warm_mix(self, msc, mix: Mix, scale: float) -> int:
+        """Install the mix's warm set; returns the lines installed."""
+        raise NotImplementedError
+
+    def warm_solo(self, msc, profile: WorkloadProfile, scale: float,
+                  seed: int = 0) -> int:
+        """Install one workload copy's warm set at base line 0."""
+        raise NotImplementedError

@@ -1,0 +1,42 @@
+"""The always-available pure-stdlib reference backend.
+
+This *is* the semantics: every other backend must match its output bit
+for bit.  Traces come straight from
+:func:`~repro.workloads.synthetic.generate_trace`; warmup streams
+:func:`~repro.workloads.synthetic.warm_lines` through the controller's
+``warm_many`` / ``warm_line`` exactly as the engine always has.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import SimBackend
+from repro.workloads.mixes import Mix
+from repro.workloads.synthetic import (
+    WorkloadProfile,
+    generate_trace,
+    warm_lines,
+)
+
+
+class PythonBackend(SimBackend):
+    """Zero-dependency default; the bit-identity reference."""
+
+    __slots__ = ()
+
+    name = "python"
+
+    def _build_trace(self, profile: WorkloadProfile, num_refs: int,
+                     base_line: int, scale: float, seed: int) -> list:
+        return list(generate_trace(profile, num_refs, base_line=base_line,
+                                   scale=scale, seed=seed))
+
+    def warm_mix(self, msc, mix: Mix, scale: float) -> int:
+        return msc.warm_many(mix.warm_sets(scale))
+
+    def warm_solo(self, msc, profile: WorkloadProfile, scale: float,
+                  seed: int = 0) -> int:
+        count = 0
+        for line, dirty in warm_lines(profile, scale=scale, seed=seed):
+            msc.warm_line(line, dirty)
+            count += 1
+        return count

@@ -60,6 +60,18 @@ class CreditCounter:
         self._value = max(0, self._value - int(cost * self.denominator))
         return True
 
+    def take_scaled(self, scaled_cost: int) -> bool:
+        """:meth:`take` with the cost already in ``1/denominator`` units.
+
+        Per-decision hot paths precompute ``int(cost * denominator)``
+        once (it is constant per counter) instead of paying a Fraction
+        multiply per query; the arithmetic is exactly :meth:`take`'s.
+        """
+        if self._value <= 0:
+            return False
+        self._value = max(0, self._value - scaled_cost)
+        return True
+
     # ------------------------------------------------------------------
     @property
     def value(self) -> float:

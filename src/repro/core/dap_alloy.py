@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Optional
 
 from repro.core.credits import CreditCounter, approximate_k
 from repro.core.dap_sectored import DEFAULT_EFFICIENCY, DEFAULT_WINDOW, SFRM_HEADROOM
@@ -43,11 +44,17 @@ class AlloyTargets:
 
 
 def solve_alloy(
-    stats: WindowStats, bms_w: float, bmm_w: float, k: Fraction
+    stats: WindowStats, bms_w: float, bmm_w: float, k: Fraction,
+    kf: Optional[float] = None,
 ) -> AlloyTargets:
-    """Per-window solve: Eq. 8 for IFRM plus the write-through budget."""
+    """Per-window solve: Eq. 8 for IFRM plus the write-through budget.
+
+    ``kf`` is the caller's precomputed ``float(k)`` (K is fixed per
+    platform); computed from ``k`` when omitted.
+    """
     ams, amm = stats.a_ms, stats.a_mm
-    kf = float(k)
+    if kf is None:
+        kf = float(k)
     n_ifrm = 0.0
     if ams > bms_w:
         ifrm_scaled = ams - kf * amm  # (K+1) * N_IFRM
@@ -85,6 +92,11 @@ class DapAlloy:
         self._ifrm = CreditCounter(bits=8, denominator=kd)
         self._wt = CreditCounter(bits=8)
         self._cost = self.k + 1
+        # Hot-path constants (see DapSectored): precomputed float/scaled
+        # forms of K and K+1, identical values without per-call conversion.
+        self._kf = float(self.k)
+        self._cost_f = float(self._cost)
+        self._cost_scaled = int(self._cost * kd)
         self.stats = WindowStats()
         self._window_index = 0
         self.last_targets = AlloyTargets(0, 0)
@@ -97,9 +109,10 @@ class DapAlloy:
         if widx == self._window_index:
             return
         stats = self.stats if widx == self._window_index + 1 else WindowStats()
-        targets = solve_alloy(stats, self.bms_w, self.bmm_w, self.k)
+        targets = solve_alloy(stats, self.bms_w, self.bmm_w, self.k,
+                              kf=self._kf)
         self.last_targets = targets
-        self._ifrm.load(targets.n_ifrm * float(self._cost))
+        self._ifrm.load(targets.n_ifrm * self._cost_f)
         self._wt.load(targets.n_wt)
         if targets.partitioning_active:
             self.windows_partitioned += 1
@@ -109,7 +122,7 @@ class DapAlloy:
     # ------------------------------------------------------------------
     def allow_forced_miss(self, now: int) -> bool:
         self.tick(now)
-        if self._ifrm.take(self._cost):
+        if self._ifrm.take_scaled(self._cost_scaled):
             self.decisions["ifrm"] += 1
             return True
         return False

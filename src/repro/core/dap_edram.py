@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Optional
 
 from repro.core.credits import CreditCounter, approximate_k
 from repro.core.dap_sectored import DEFAULT_EFFICIENCY, DEFAULT_WINDOW
@@ -43,12 +44,18 @@ class EdramTargets:
 
 
 def solve_edram(
-    stats: EdramWindowStats, bms_w: float, bmm_w: float, k: Fraction
+    stats: EdramWindowStats, bms_w: float, bmm_w: float, k: Fraction,
+    kf: Optional[float] = None,
 ) -> EdramTargets:
-    """Per-window solve across the paper's three scenarios."""
+    """Per-window solve across the paper's three scenarios.
+
+    ``kf`` is the caller's precomputed ``float(k)`` (K is fixed per
+    platform); computed from ``k`` when omitted.
+    """
     ar, aw, amm = stats.a_ms_read, stats.a_ms_write, stats.a_mm
     rm, wm, clean_hits = stats.read_misses, stats.writes, stats.clean_hits
-    kf = float(k)
+    if kf is None:
+        kf = float(k)
     read_short = ar > bms_w
     write_short = aw > bms_w
 
@@ -99,6 +106,11 @@ class DapEdram:
         self._wb = CreditCounter(bits=8, denominator=kd)
         self._ifrm = CreditCounter(bits=8, denominator=kd)
         self._cost = self.k + 1
+        # Hot-path constants (see DapSectored): precomputed float/scaled
+        # forms of K and K+1, identical values without per-call conversion.
+        self._kf = float(self.k)
+        self._cost_f = float(self._cost)
+        self._cost_scaled = int(self._cost * kd)
         self.stats = EdramWindowStats()
         self._window_index = 0
         self.last_targets = EdramTargets(0, 0, 0)
@@ -111,9 +123,10 @@ class DapEdram:
         if widx == self._window_index:
             return
         stats = self.stats if widx == self._window_index + 1 else EdramWindowStats()
-        targets = solve_edram(stats, self.bms_w, self.bmm_w, self.k)
+        targets = solve_edram(stats, self.bms_w, self.bmm_w, self.k,
+                              kf=self._kf)
         self.last_targets = targets
-        cost = float(self._cost)
+        cost = self._cost_f
         self._fwb.load(targets.n_fwb)
         self._wb.load(targets.n_wb * cost)
         self._ifrm.load(targets.n_ifrm * cost)
@@ -132,14 +145,14 @@ class DapEdram:
 
     def allow_write_bypass(self, now: int) -> bool:
         self.tick(now)
-        if self._wb.take(self._cost):
+        if self._wb.take_scaled(self._cost_scaled):
             self.decisions["wb"] += 1
             return True
         return False
 
     def allow_forced_miss(self, now: int) -> bool:
         self.tick(now)
-        if self._ifrm.take(self._cost):
+        if self._ifrm.take_scaled(self._cost_scaled):
             self.decisions["ifrm"] += 1
             return True
         return False

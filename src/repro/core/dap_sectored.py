@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Optional
 
 from repro.core.credits import CreditCounter, approximate_k
 from repro.core.window import WindowStats
@@ -48,12 +49,19 @@ class SectoredTargets:
 
 
 def solve_sectored(
-    stats: WindowStats, bms_w: float, bmm_w: float, k: Fraction
+    stats: WindowStats, bms_w: float, bmm_w: float, k: Fraction,
+    kf: Optional[float] = None,
 ) -> SectoredTargets:
-    """Pure per-window solve of the Fig. 3 flowchart."""
+    """Pure per-window solve of the Fig. 3 flowchart.
+
+    ``kf`` lets window-driven callers pass the precomputed ``float(k)``
+    (K is fixed per platform; converting the Fraction every window is
+    pure overhead).
+    """
     ams, amm = stats.a_ms, stats.a_mm
     rm, wm, clean_hits = stats.read_misses, stats.writes, stats.clean_hits
-    kf = float(k)
+    if kf is None:
+        kf = float(k)
 
     n_fwb = n_wb = n_ifrm = 0.0
     if ams > bms_w:
@@ -125,6 +133,13 @@ class DapSectored:
         self._ifrm = CreditCounter(bits=8, denominator=kd)
         self._sfrm = CreditCounter(bits=8)
         self._wb_cost = self.k + 1
+        # Hot-path constants: K and the (K+1) costs are fixed per
+        # platform, so the per-window float() conversions and the
+        # per-decision Fraction multiply inside CreditCounter.take are
+        # precomputed here (identical values, no per-call conversion).
+        self._kf = float(self.k)
+        self._wb_cost_f = float(self._wb_cost)
+        self._wb_cost_scaled = int(self._wb_cost * kd)
         self.stats = WindowStats()
         self._window_index = 0
         self.last_targets = SectoredTargets(0, 0, 0, 0)
@@ -148,7 +163,8 @@ class DapSectored:
         if widx == self._window_index:
             return
         stats = self.stats if widx == self._window_index + 1 else WindowStats()
-        self.load_targets(solve_sectored(stats, self.bms_w, self.bmm_w, self.k))
+        self.load_targets(solve_sectored(stats, self.bms_w, self.bmm_w,
+                                         self.k, kf=self._kf))
         self.windows_seen += widx - self._window_index
         self.stats.reset()
         self._window_index = widx
@@ -156,7 +172,7 @@ class DapSectored:
     def load_targets(self, targets: SectoredTargets) -> None:
         """Install a window's technique budgets into the credit counters."""
         self.last_targets = targets
-        kf = float(self._wb_cost)
+        kf = self._wb_cost_f
         self._fwb.load(targets.n_fwb)
         self._wb.load(targets.n_wb * kf)      # store (K+1)*N_WB
         self._ifrm.load(targets.n_ifrm * kf)  # store (K+1)*N_IFRM
@@ -176,7 +192,7 @@ class DapSectored:
 
     def allow_write_bypass(self, now: int) -> bool:
         self.tick(now)
-        if self._wb.take(self._wb_cost):
+        if self._wb.take_scaled(self._wb_cost_scaled):
             self.decisions["wb"] += 1
             return True
         return False
@@ -184,7 +200,7 @@ class DapSectored:
     def allow_forced_miss(self, now: int) -> bool:
         """IFRM: bypass a known-clean hit to main memory."""
         self.tick(now)
-        if self._ifrm.take(self._wb_cost):
+        if self._ifrm.take_scaled(self._wb_cost_scaled):
             self.decisions["ifrm"] += 1
             return True
         return False

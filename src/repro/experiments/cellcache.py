@@ -178,6 +178,11 @@ class ExecStats:
     #: (``--profile`` / ``profile_hz``); see :mod:`repro.obs.profiler`.
     stack_profiles: dict[str, str] = field(default_factory=dict)
     elapsed: float = 0.0
+    #: Trace-store accounting (see :class:`repro.backends.base.TraceStore`):
+    #: materialized traces built this invocation vs. served from the
+    #: in-process content-addressed store.
+    traces_generated: int = 0
+    traces_reused: int = 0
 
     @property
     def failed(self) -> int:
@@ -192,10 +197,16 @@ class ExecStats:
         self.profile.extend(other.profile)
         self.stack_profiles.update(other.stack_profiles)
         self.elapsed += other.elapsed
+        self.traces_generated += other.traces_generated
+        self.traces_reused += other.traces_reused
 
     def summary(self) -> str:
-        return (f"{self.total} cells: {self.executed} executed, "
+        text = (f"{self.total} cells: {self.executed} executed, "
                 f"{self.cache_hits} cached, {self.failed} failed")
+        if self.traces_generated or self.traces_reused:
+            text += (f"; traces: {self.traces_generated} generated, "
+                     f"{self.traces_reused} reused")
+        return text
 
     def profile_summary(self, top: int = 3) -> str:
         """Per-cell profile digest: slowest cells, aggregate throughput.

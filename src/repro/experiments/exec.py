@@ -30,6 +30,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
+from repro.backends import (
+    active_backend,
+    active_backend_name,
+    configure_backend,
+    resolve_backend_name,
+)
 from repro.errors import ReproError
 from repro.experiments import cellcache
 from repro.experiments.cellcache import (
@@ -253,10 +259,12 @@ def _execute_one(cell: Cell, key: str, cache: Optional[CellCache],
                  profile_hz: int = 0):
     """Run one cell, writing the result (or failure) through the cache.
 
-    Returns ``(label, "ok", result, wall_seconds, profile_text)`` or
-    ``(label, "error", message, wall_seconds, profile_text)``; never
-    raises, so pool futures only fail on worker death. ``wall_seconds``
-    is 0.0 when the cell was served by a racing worker's cache entry.
+    Returns ``(label, "ok", result, wall_seconds, profile_text, traces)``
+    or ``(label, "error", message, wall_seconds, profile_text, traces)``;
+    never raises, so pool futures only fail on worker death.
+    ``wall_seconds`` is 0.0 when the cell was served by a racing worker's
+    cache entry.  ``traces`` is the ``(generated, reused)`` delta this
+    cell caused in the active backend's trace store.
 
     ``profile_hz > 0`` wraps the cell's execution in a
     :class:`~repro.obs.profiler.SamplingProfiler` (one per cell, so the
@@ -267,16 +275,25 @@ def _execute_one(cell: Cell, key: str, cache: Optional[CellCache],
     """
     start = time.perf_counter()
     profiler = None
+    store = active_backend().store
+    gen0, reuse0 = store.generated, store.reused
+
+    def traces() -> tuple[int, int]:
+        return store.generated - gen0, store.reused - reuse0
+
     try:
         if cache is not None:
             # Another worker may have finished this cell (or its alone-IPC
             # twin) since the parent scheduled it.
             hit = cache.get_result(key)
             if hit is not None:
-                return cell.label, "ok", hit, 0.0, None
+                return cell.label, "ok", hit, 0.0, None, traces()
         if profile_hz > 0:
             profiler = SamplingProfiler(hz=profile_hz)
             profiler.track(cell=cell.label)
+            # Attribute samples to the backend that produced them, so
+            # per-backend profiles are distinguishable post hoc.
+            profiler.profile.meta["backend"] = active_backend_name()
             profiler.start()
         result = cell.execute()
         collapsed = _finish_profile(profiler)
@@ -288,7 +305,8 @@ def _execute_one(cell: Cell, key: str, cache: Optional[CellCache],
                     cache.put_profile(key, collapsed)
                 except OSError:
                     pass  # a lost sidecar never fails the cell
-        return cell.label, "ok", result, time.perf_counter() - start, collapsed
+        return (cell.label, "ok", result, time.perf_counter() - start,
+                collapsed, traces())
     except Exception as exc:  # noqa: BLE001 — cell isolation is the point
         collapsed = _finish_profile(profiler)
         message = f"{type(exc).__name__}: {exc}"
@@ -299,7 +317,7 @@ def _execute_one(cell: Cell, key: str, cache: Optional[CellCache],
             except OSError:
                 pass
         return (cell.label, "error", message,
-                time.perf_counter() - start, collapsed)
+                time.perf_counter() - start, collapsed, traces())
 
 
 def _finish_profile(profiler: Optional[SamplingProfiler]) -> Optional[str]:
@@ -323,9 +341,16 @@ def _profile_of(label: str, payload, wall: float) -> CellProfile:
     )
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
-    """Pool initializer: point the worker at the shared cell cache."""
+def _worker_init(cache_dir: Optional[str], backend: str = "python") -> None:
+    """Pool initializer: shared cell cache + the sweep's backend.
+
+    ``backend`` is the *resolved* concrete name (never ``auto``): the
+    parent resolves once so every worker runs the same backend even if
+    e.g. numpy's importability differs between resolve time and worker
+    spawn.  Each worker gets a fresh trace store.
+    """
     cellcache.configure_default(cache_dir)
+    configure_backend(backend)
 
 
 def _worker_run(cell: Cell, key: str, cache_dir: Optional[str],
@@ -354,6 +379,7 @@ def execute_cells(
     should_stop: Optional[Callable[[], Optional[str]]] = None,
     on_cell: Optional[Callable[[str, str, int, int], None]] = None,
     profile_hz: int = 0,
+    backend: Optional[str] = None,
 ) -> tuple[dict, ExecStats]:
     """Run cells, returning ``(results by label, ExecStats)``.
 
@@ -362,6 +388,13 @@ def execute_cells(
     are recorded in the stats (and, when caching, on disk — a later
     invocation replays the failure instantly unless ``resume=True``
     forces a retry).
+
+    ``backend`` selects the simulation backend (``python``, ``numpy``,
+    ``auto``; see :mod:`repro.backends`) for this sweep — resolved once
+    here, installed process-globally, and propagated to pool workers.
+    Backends are bit-identical by contract, so the choice never enters
+    cache keys: cells cached under one backend are served under any
+    other.
 
     ``should_stop`` is the job adapter's cancellation hook: a
     zero-argument callable polled between cells (and between pool
@@ -386,6 +419,8 @@ def execute_cells(
     executed) contribute no profile.
     """
     cache = _as_cache(cache)
+    resolved_backend = resolve_backend_name(backend)
+    configure_backend(resolved_backend)
     start = time.time()
     stats = ExecStats(total=len(cells))
     results: dict = {}
@@ -444,7 +479,8 @@ def execute_cells(
             traceparent = current_traceparent()
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(unique)),
-                initializer=_worker_init, initargs=(cache_dir,),
+                initializer=_worker_init,
+                initargs=(cache_dir, resolved_backend),
             ) as pool:
                 futures = {
                     pool.submit(_worker_run, cell, keys[cell.label],
@@ -455,23 +491,25 @@ def execute_cells(
                 for future in as_completed(futures):
                     cell = futures[future]
                     try:
-                        label, status, payload, wall, collapsed = (
+                        label, status, payload, wall, collapsed, traces = (
                             future.result())
                     except CancelledError:
                         continue  # never started; the sweep is stopping
                     except BrokenProcessPool:
-                        label, status, payload, wall, collapsed = (
+                        label, status, payload, wall, collapsed, traces = (
                             cell.label, "error",
                             "worker process crashed (killed or out of memory)",
-                            0.0, None,
+                            0.0, None, (0, 0),
                         )
                     except Exception as exc:  # pool plumbing failure
-                        label, status, payload, wall, collapsed = (
+                        label, status, payload, wall, collapsed, traces = (
                             cell.label, "error",
-                            f"{type(exc).__name__}: {exc}", 0.0, None,
+                            f"{type(exc).__name__}: {exc}", 0.0, None, (0, 0),
                         )
                     outcomes[keys[label]] = (status, payload)
                     _observe_cell(label, status, wall)
+                    stats.traces_generated += traces[0]
+                    stats.traces_reused += traces[1]
                     if collapsed:
                         stats.stack_profiles[label] = collapsed
                     if status == "ok":
@@ -493,10 +531,12 @@ def execute_cells(
                     stop_reason = should_stop() or None
                     if stop_reason:
                         break
-                label, status, payload, wall, collapsed = _execute_one(
+                label, status, payload, wall, collapsed, traces = _execute_one(
                     cell, keys[cell.label], cache, profile_hz=profile_hz)
                 outcomes[keys[label]] = (status, payload)
                 _observe_cell(label, status, wall)
+                stats.traces_generated += traces[0]
+                stats.traces_reused += traces[1]
                 if collapsed:
                     stats.stack_profiles[label] = collapsed
                 if status == "ok":
@@ -544,6 +584,7 @@ def run_spec(
     should_stop: Optional[Callable[[], Optional[str]]] = None,
     on_cell: Optional[Callable[[str, str, int, int], None]] = None,
     profile_hz: int = 0,
+    backend: Optional[str] = None,
 ) -> ExperimentResult:
     """Execute a spec's cells and render its table.
 
@@ -567,7 +608,8 @@ def run_spec(
                  if isinstance(cell, MixCell) else cell for cell in cells]
     results, stats = execute_cells(cells, jobs=jobs, cache=cache,
                                    resume=resume, should_stop=should_stop,
-                                   on_cell=on_cell, profile_hz=profile_hz)
+                                   on_cell=on_cell, profile_hz=profile_hz,
+                                   backend=backend)
     if stats.failures:
         failed = ", ".join(f.label for f in stats.failures[:8])
         more = "" if stats.failed <= 8 else f" (+{stats.failed - 8} more)"

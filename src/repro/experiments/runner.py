@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 from dataclasses import replace
 
 from repro import api
+from repro.backends import BACKEND_NAMES
 from repro.errors import ConfigError, ReproError
 from repro.experiments.cellcache import (
     CellCache,
@@ -62,7 +63,8 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
                    cache: Optional[object] = None,
                    resume: bool = False,
                    telemetry: Optional[TelemetryConfig] = None,
-                   profile: bool = False):
+                   profile: bool = False,
+                   backend: Optional[str] = None):
     """Run one experiment by id, returning its ExperimentResult.
 
     ``jobs`` fans the experiment's cells out over worker processes;
@@ -85,7 +87,7 @@ def run_experiment(name: str, scale_name: Optional[str] = None,
     request = api.ExperimentRequest(
         experiment=name, scale=scale_name,
         workloads=tuple(workloads) if workloads else None,
-        jobs=jobs, resume=resume, profile=profile,
+        jobs=jobs, resume=resume, profile=profile, backend=backend,
     )
     return api.run_experiment(request, cache=cache, telemetry=telemetry,
                               spec=spec)
@@ -120,6 +122,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk cell cache")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="simulation backend: python (default), numpy "
+                             "(vectorized; needs the [fast] extra), or auto "
+                             "(numpy when available); results are "
+                             "bit-identical across backends")
     parser.add_argument("--resume", action="store_true",
                         help="retry cells whose previous attempt failed "
                              "(completed cells still come from the cache)")
@@ -208,6 +215,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 name, args.scale, spec_workloads,
                 jobs=max(1, args.jobs), cache=cache, resume=args.resume,
                 telemetry=spec_telemetry, profile=args.profile,
+                backend=args.backend,
             )
         except ReproError as exc:
             print(f"error: {name}: {exc}", file=sys.stderr)

@@ -25,11 +25,16 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.backends import active_backend_name, numpy_version
 from repro.errors import ConfigError
 from repro.experiments.cellcache import ExecStats
 from repro.obs.manifest import git_sha
 
-BENCH_SCHEMA = 1
+#: Schema 2 adds backend provenance (``backend``, ``numpy_version``) and
+#: per-cell throughput (``cell_rates``); schema-1 records stay loadable
+#: (they predate backends and are implicitly ``python``).
+BENCH_SCHEMA = 2
+_KNOWN_SCHEMAS = (1, 2)
 
 #: Only experiments that actually simulated this many events participate
 #: in throughput comparison (cache-served sweeps measure nothing).
@@ -58,6 +63,9 @@ def _experiment_entry(stats: ExecStats) -> dict:
         "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
         "slowest_cell": (max(stats.profile, key=lambda p: p.wall).label
                          if stats.profile else None),
+        "cell_rates": {p.label: round(p.events_per_sec, 1)
+                       for p in sorted(stats.profile, key=lambda p: p.label)
+                       if p.events},
     }
 
 
@@ -66,8 +74,14 @@ def build_bench_record(
     per_experiment: dict[str, ExecStats],
     scale: Optional[str] = None,
     created_unix: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> dict:
-    """The BENCH schema: one performance sample of the simulator."""
+    """The BENCH schema: one performance sample of the simulator.
+
+    ``backend`` defaults to the process's active simulation backend;
+    ``numpy_version`` records the installed numpy (null when absent) so
+    a trajectory sample is attributable to the exact vector stack.
+    """
     experiments = {name: _experiment_entry(stats)
                    for name, stats in sorted(per_experiment.items())}
     wall = sum(e["wall_seconds"] for e in experiments.values())
@@ -75,6 +89,8 @@ def build_bench_record(
     return {
         "schema": BENCH_SCHEMA,
         "run_id": run_id,
+        "backend": backend if backend is not None else active_backend_name(),
+        "numpy_version": numpy_version(),
         "git_sha": git_sha(),
         "created_unix": round(created_unix if created_unix is not None
                               else time.time(), 3),
@@ -90,9 +106,9 @@ def validate_bench(record: dict) -> dict:
     """Schema check; returns the record or raises ``ConfigError``."""
     if not isinstance(record, dict):
         raise ConfigError("bench record must be a JSON object")
-    if record.get("schema") != BENCH_SCHEMA:
+    if record.get("schema") not in _KNOWN_SCHEMAS:
         raise ConfigError(
-            f"bench schema {record.get('schema')!r} != {BENCH_SCHEMA}")
+            f"bench schema {record.get('schema')!r} not in {_KNOWN_SCHEMAS}")
     for key in ("run_id", "total_wall_seconds", "events_per_sec",
                 "experiments"):
         if key not in record:
@@ -104,6 +120,11 @@ def validate_bench(record: dict) -> dict:
             if key not in entry:
                 raise ConfigError(f"bench experiment {name!r} missing {key!r}")
     return record
+
+
+def bench_backend(record: dict) -> str:
+    """The backend a record was measured under (schema-1 => python)."""
+    return record.get("backend") or "python"
 
 
 # ----------------------------------------------------------------------
@@ -130,16 +151,31 @@ def load_bench(path: Union[str, Path]) -> dict:
         raise ConfigError(f"unreadable bench record {path}: {exc}") from None
 
 
-def latest_bench(repo_dir: Union[str, Path]) -> Optional[Path]:
-    """The highest-numbered ``BENCH_<n>.json`` at the repo root."""
-    best: Optional[tuple[int, Path]] = None
+def latest_bench(repo_dir: Union[str, Path],
+                 backend: Optional[str] = None) -> Optional[Path]:
+    """The highest-numbered ``BENCH_<n>.json`` at the repo root.
+
+    With ``backend``, the highest-numbered record *measured under that
+    backend* — trajectories compare like for like, so a python sample is
+    never judged against a numpy baseline (or vice versa).  Unreadable
+    records are skipped rather than fatal.
+    """
+    numbered: list[tuple[int, Path]] = []
     for path in Path(repo_dir).glob("BENCH_*.json"):
         match = _BENCH_NAME.match(path.name)
         if match:
-            number = int(match.group(1))
-            if best is None or number > best[0]:
-                best = (number, path)
-    return best[1] if best else None
+            numbered.append((int(match.group(1)), path))
+    for _, path in sorted(numbered, reverse=True):
+        if backend is None:
+            return path
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and bench_backend(record) == backend:
+            return path
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +195,14 @@ def compare_bench(
     """
     regressions: list[str] = []
     notes: list[str] = []
+    cur_backend, prev_backend = bench_backend(current), bench_backend(previous)
+    if cur_backend != prev_backend:
+        # Cross-backend throughput deltas are expected (that is the
+        # point of a faster backend) — not a trajectory signal.
+        notes.append(
+            f"backend mismatch ({prev_backend} -> {cur_backend}); "
+            "throughput not compared — trajectories are per backend")
+        return regressions, notes
     pairs = [("aggregate", current, previous)]
     prev_experiments = previous.get("experiments", {})
     for name, entry in current.get("experiments", {}).items():

@@ -27,6 +27,7 @@ from repro.errors import ConfigError, ReproError
 from repro.obs.analysis import analyze_trace, render_csv, render_markdown
 from repro.obs.bench import (
     DEFAULT_BENCH_THRESHOLD,
+    bench_backend,
     compare_bench,
     latest_bench,
     load_bench,
@@ -168,16 +169,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     current = load_bench(args.record)
-    print(f"[bench record ok: {current['run_id']} @ "
+    backend = bench_backend(current)
+    print(f"[bench record ok: {current['run_id']} ({backend}) @ "
           f"{current['events_per_sec']:,.0f} events/s over "
           f"{current['total_wall_seconds']:.1f}s]")
     previous_path: Optional[Path] = None
     if args.against:
         previous_path = Path(args.against)
     elif args.repo:
-        previous_path = latest_bench(args.repo)
+        # Trajectories are per backend: judge a python sample only
+        # against the latest python record, numpy against numpy.
+        previous_path = latest_bench(args.repo, backend=backend)
         if previous_path is None:
-            print(f"[no BENCH_*.json under {args.repo}; nothing to compare]")
+            print(f"[no {backend}-backend BENCH_*.json under {args.repo}; "
+                  "nothing to compare]")
             return 0
     if previous_path is None:
         return 0

@@ -10,6 +10,7 @@ from repro.experiments.cellcache import CellProfile, ExecStats
 from repro.obs.bench import (
     BENCH_SCHEMA,
     MIN_COMPARABLE_EVENTS,
+    bench_backend,
     build_bench_record,
     compare_bench,
     latest_bench,
@@ -32,11 +33,12 @@ def stats_with(events, wall, cells=2):
     return stats
 
 
-def make_record(rate=100_000.0, events=1_000_000, run_id="t", scale="smoke"):
+def make_record(rate=100_000.0, events=1_000_000, run_id="t", scale="smoke",
+                backend=None):
     return build_bench_record(
         run_id=run_id,
         per_experiment={"fig06": stats_with(events, events / rate)},
-        scale=scale, created_unix=1_700_000_000.0)
+        scale=scale, created_unix=1_700_000_000.0, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -55,6 +57,22 @@ def test_build_record_schema_and_totals():
     entry = record["experiments"]["fig06"]
     assert entry["cells"] == 2 and entry["executed"] == 2
     assert entry["slowest_cell"] in ("cell0", "cell1")
+    # Schema-2 provenance: backend defaults to the active (python)
+    # backend; per-cell rates name every cell that simulated events.
+    assert record["backend"] == "python"
+    assert "numpy_version" in record
+    assert set(entry["cell_rates"]) == {"cell0", "cell1"}
+    assert entry["cell_rates"]["cell0"] == pytest.approx(200_000.0)
+
+
+def test_schema_1_records_stay_loadable():
+    record = make_record()
+    record["schema"] = 1
+    del record["backend"]
+    del record["numpy_version"]
+    validate_bench(record)
+    assert bench_backend(record) == "python"
+    assert bench_backend(make_record(backend="numpy")) == "numpy"
 
 
 def test_build_record_counts_cache_hits():
@@ -102,6 +120,24 @@ def test_latest_bench_picks_highest_number(tmp_path):
     assert load_bench(found)["run_id"] == "12"
 
 
+def test_latest_bench_filters_by_backend(tmp_path):
+    """Trajectories are per backend: a python gate never compares
+    against a numpy sample even when the numpy record is newer."""
+    write_bench(tmp_path / "BENCH_1.json", make_record(run_id="py1"))
+    write_bench(tmp_path / "BENCH_2.json",
+                make_record(run_id="np2", backend="numpy"))
+    assert latest_bench(tmp_path).name == "BENCH_2.json"
+    assert latest_bench(tmp_path, backend="python").name == "BENCH_1.json"
+    assert latest_bench(tmp_path, backend="numpy").name == "BENCH_2.json"
+    assert latest_bench(tmp_path, backend="cython") is None
+    # Schema-1 records (no backend key) count as python samples.
+    old = make_record(run_id="old")
+    old["schema"] = 1
+    del old["backend"], old["numpy_version"]
+    write_bench(tmp_path / "BENCH_3.json", old)
+    assert latest_bench(tmp_path, backend="python").name == "BENCH_3.json"
+
+
 # ----------------------------------------------------------------------
 # Comparison
 # ----------------------------------------------------------------------
@@ -142,6 +178,16 @@ def test_compare_bench_notes_new_experiments():
     regressions, notes = compare_bench(current, previous)
     assert any("fig12: no previous sample" in line for line in notes)
     assert regressions == []
+
+
+def test_compare_bench_refuses_cross_backend():
+    """A faster backend is not a regression signal (nor an improvement
+    one): cross-backend comparisons are declined with a note."""
+    previous = make_record(rate=100_000.0)
+    current = make_record(rate=10_000.0, backend="numpy")  # 10x "slower"
+    regressions, notes = compare_bench(current, previous)
+    assert regressions == []
+    assert any("backend mismatch" in line for line in notes)
 
 
 def test_committed_bench_record_is_valid():

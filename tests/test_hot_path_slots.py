@@ -10,6 +10,9 @@ attribute to one of these classes means adding it to ``__slots__``.
 
 import pytest
 
+from repro.backends.base import SimBackend, TraceStore
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.python_backend import PythonBackend
 from repro.cache.replacement import LRUPolicy, NRUPolicy
 from repro.cache.sectored import SectoredCacheArray, _Sector
 from repro.cache.sram_cache import Eviction, SRAMCache, _Line
@@ -32,6 +35,12 @@ HOT_PATH_CLASSES = [
     _Sector,
     LRUPolicy,
     NRUPolicy,
+    # Backends sit on the trace-materialization path; their classes are
+    # importable (and slotted) whether or not numpy is installed.
+    TraceStore,
+    SimBackend,
+    PythonBackend,
+    NumpyBackend,
 ]
 
 
