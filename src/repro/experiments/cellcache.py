@@ -143,10 +143,16 @@ def _embedded_manifest(encoded: Any) -> Optional[dict]:
 
 @dataclass
 class CellFailure:
-    """One cell that did not produce a result."""
+    """One cell that did not produce a result.
+
+    ``policy`` is the steering policy the cell was configured with (empty
+    for policy-less cells, e.g. kernel measurements), so a broken policy
+    is identifiable from the batch summary and error message alone.
+    """
 
     label: str
     error: str
+    policy: str = ""
 
 
 @dataclass
@@ -203,6 +209,9 @@ class ExecStats:
     def summary(self) -> str:
         text = (f"{self.total} cells: {self.executed} executed, "
                 f"{self.cache_hits} cached, {self.failed} failed")
+        policies = sorted({f.policy for f in self.failures if f.policy})
+        if policies:
+            text += f" (policies: {', '.join(policies)})"
         if self.traces_generated or self.traces_reused:
             text += (f"; traces: {self.traces_generated} generated, "
                      f"{self.traces_reused} reused")

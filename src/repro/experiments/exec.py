@@ -188,6 +188,12 @@ class TaskCell:
 Cell = Union[MixCell, AloneIpcCell, TaskCell]
 
 
+def _policy_of(cell: Cell) -> str:
+    """The steering policy a cell runs under ('' for policy-less cells)."""
+    config = getattr(cell, "config", None)
+    return getattr(config, "policy", "") if config is not None else ""
+
+
 # ----------------------------------------------------------------------
 # Declarative experiment specification
 # ----------------------------------------------------------------------
@@ -555,9 +561,12 @@ def execute_cells(
         else:
             errors[cell.label] = payload
 
+    policies = {cell.label: _policy_of(cell) for cell in cells}
+
     if stop_reason:
-        stats.failures = [CellFailure(label, errors[label]) for label in labels
-                          if label in errors]
+        stats.failures = [
+            CellFailure(label, errors[label], policy=policies[label])
+            for label in labels if label in errors]
         stats.elapsed = time.time() - start
         raise CellExecutionCancelled(
             f"sweep stopped ({stop_reason}) after {done} of {total} cells; "
@@ -565,8 +574,9 @@ def execute_cells(
             reason=stop_reason, stats=stats,
         )
 
-    stats.failures = [CellFailure(label, errors[label]) for label in labels
-                      if label in errors]
+    stats.failures = [
+        CellFailure(label, errors[label], policy=policies[label])
+        for label in labels if label in errors]
     stats.elapsed = time.time() - start
     return results, stats
 
@@ -611,7 +621,9 @@ def run_spec(
                                    on_cell=on_cell, profile_hz=profile_hz,
                                    backend=backend)
     if stats.failures:
-        failed = ", ".join(f.label for f in stats.failures[:8])
+        failed = ", ".join(
+            f"{f.label} (policy={f.policy})" if f.policy else f.label
+            for f in stats.failures[:8])
         more = "" if stats.failed <= 8 else f" (+{stats.failed - 8} more)"
         raise CellExecutionError(
             f"{spec.name}: {stats.failed} of {stats.total} cells failed "

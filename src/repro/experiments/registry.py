@@ -31,6 +31,8 @@ EXPERIMENTS = {
     "fig15": "repro.experiments.fig15_edram",
     "ablation": "repro.experiments.ablation_techniques",
     "flat": "repro.experiments.ext_flat_memory",
+    "baselines": "repro.experiments.ext_baselines",
+    "prefetch": "repro.experiments.ext_prefetch",
 }
 
 

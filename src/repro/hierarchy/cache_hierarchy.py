@@ -119,6 +119,12 @@ class CacheHierarchy:
         # Prefetch throttle: bounded in-flight prefetches per core.
         self.max_prefetch_inflight = 12
         self._pf_inflight = [0] * num_cores
+        # CBP-style policies meter prefetch issue; every other policy
+        # leaves this None so the issue path stays branch-cheap.
+        policy = msc.policy
+        self._pf_throttle = (
+            policy if getattr(policy, "throttles_prefetch", False) else None
+        )
 
     # ------------------------------------------------------------------
     # Core-facing interface
@@ -288,6 +294,10 @@ class CacheHierarchy:
             if self.l2[core_id].probe(target) or self.l3.probe(target):
                 continue
             if target in self._inflight:
+                continue
+            if self._pf_throttle is not None and not (
+                self._pf_throttle.allow_prefetch(self.sim.now, core_id, target)
+            ):
                 continue
             self._pf_inflight[core_id] += 1
             self._request_line(

@@ -108,6 +108,17 @@ class MscController:
         """Expected cache-side service latency for a read to ``line``."""
         return self.cache_dev.channel_of(line).expected_read_latency()
 
+    def charge_tag_update(self, line: int) -> None:
+        """Charge one in-DRAM metadata write against the cache device.
+
+        Banshee-style policies keep replacement state (frequency
+        counters) with the in-DRAM tags; maintaining it is real
+        cache-DRAM write traffic, accounted like any other metadata
+        write."""
+        self.stats.meta_writes += 1
+        self.policy.note_ms_access()
+        self.cache_dev.enqueue(Request(line=line, kind=AccessKind.META_WRITE))
+
     def writeback_lines(self, lines: list[int], read_from_cache: bool = True) -> None:
         """Move dirty blocks to main memory (victim cleaning).
 

@@ -30,12 +30,15 @@ from repro.hierarchy.msc_edram import EdramMscController
 from repro.hierarchy.msc_sectored import SectoredMscController
 from repro.mem.configs import DramConfig, ddr4_2400, edram_channels, hbm_102
 from repro.mem.device import MemoryDevice
+from repro.policies.banshee import BansheePolicy
 from repro.policies.base import BaselinePolicy, SteeringPolicy
 from repro.policies.batman import BatmanPolicy
 from repro.policies.bear import BearFillPolicy
+from repro.policies.cbp import CbpPolicy
 from repro.policies.dap import (DapAlloyPolicy, DapEdramPolicy,
                                 DapSectoredPolicy, ThreadAwareDapPolicy)
 from repro.policies.sbd import SbdPolicy
+from repro.policies.tuntu import TuntuPolicy
 
 GiB = 1 << 30
 MiB = 1 << 20
@@ -43,6 +46,7 @@ MiB = 1 << 20
 POLICY_NAMES = (
     "baseline", "dap", "dap-ta", "dap-fwb", "dap-fwb-wb", "dap-no-sfrm",
     "sbd", "sbd-wt", "batman", "bear",
+    "banshee", "banshee-always", "tuntu", "cbp",
 )
 
 
@@ -129,6 +133,14 @@ def _make_policy(config: SystemConfig, b_ms: float, b_mm: float) -> SteeringPoli
         if config.msc_kind != "alloy":
             raise ConfigError("BEAR applies to the Alloy cache only")
         return BearFillPolicy()
+    if name == "banshee":
+        return BansheePolicy()
+    if name == "banshee-always":
+        return BansheePolicy(fill_threshold=0)
+    if name == "tuntu":
+        return TuntuPolicy()
+    if name == "cbp":
+        return CbpPolicy()
     raise ConfigError(f"unknown policy {name!r}")
 
 

@@ -135,6 +135,10 @@ def collect_result(system: System) -> RunResult:
             msc.mm_dev.cas_by_kind().get(AccessKind.DEMAND_READ, 0)
         ),
     }
+    # Policy-specific counters (Banshee fill admission, TUNTU update
+    # skips, CBP prefetch credits). The base policy returns {} so runs
+    # covered by the determinism golden gain no extras keys.
+    extras.update(msc.policy.result_extras())
 
     return RunResult(
         policy=system.config.policy,

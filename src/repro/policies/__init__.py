@@ -13,7 +13,13 @@ between the cache and main memory. Implementations:
 - :mod:`repro.policies.batman` — BATMAN set-disabling toward a target
   hit rate (Chou et al., 2015);
 - :mod:`repro.policies.bear` — BEAR-style fill bypass for the Alloy
-  cache (Chou et al., ISCA 2015).
+  cache (Chou et al., ISCA 2015);
+- :mod:`repro.policies.banshee` — Banshee-style frequency-threshold
+  fill admission with tag-update traffic (Yu et al., MICRO 2017);
+- :mod:`repro.policies.tuntu` — TUNTU-style selective replacement
+  update (Young & Qureshi);
+- :mod:`repro.policies.cbp` — CBP-style bandwidth-pressure prefetch
+  throttling for the stride prefetcher.
 """
 
 from repro.policies.base import SteeringPolicy, BaselinePolicy
@@ -22,6 +28,9 @@ from repro.policies.dap import (DapSectoredPolicy, DapAlloyPolicy,
 from repro.policies.sbd import SbdPolicy
 from repro.policies.batman import BatmanPolicy
 from repro.policies.bear import BearFillPolicy
+from repro.policies.banshee import BansheePolicy
+from repro.policies.tuntu import TuntuPolicy
+from repro.policies.cbp import CbpPolicy
 
 __all__ = [
     "SteeringPolicy",
@@ -33,4 +42,7 @@ __all__ = [
     "SbdPolicy",
     "BatmanPolicy",
     "BearFillPolicy",
+    "BansheePolicy",
+    "TuntuPolicy",
+    "CbpPolicy",
 ]

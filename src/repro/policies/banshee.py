@@ -1,0 +1,133 @@
+"""Banshee-style bandwidth-aware frequency-based replacement (FBR).
+
+Banshee (Yu et al., MICRO 2017) manages a page-granularity DRAM cache
+and attacks exactly the bottleneck DAP partitions around: DRAM-cache
+*fill* bandwidth. Its frequency-based replacement only admits a page
+once its access-frequency counter clears a threshold, so one-touch
+streams never burn a fill write per miss; the price is that the
+frequency counters live with the in-DRAM tags, so counter maintenance
+is real cache-DRAM traffic (modeled here as sampled tag-update writes).
+
+This reproduction keeps the two bandwidth-relevant mechanisms and drops
+the TLB/page-table plumbing Banshee uses to cache address mappings:
+
+- **Frequency-threshold fills**: per-4KB-page counters incremented on a
+  deterministic 1-in-``sample_rate`` sample of accesses, halved every
+  ``epoch_cycles`` (recency). A read miss fills only when the page's
+  counter has reached ``fill_threshold``; colder pages bypass.
+- **Tag-update traffic**: each sampled counter bump pays one metadata
+  write on the cache DRAM through
+  :meth:`~repro.hierarchy.msc_base.MscController.charge_tag_update`.
+
+``fill_threshold=0`` degenerates to an always-fill variant
+(``banshee-always``) that still pays the tag-update traffic — the
+experiments use it as the always-fill reference when measuring how much
+fill bandwidth the threshold saves.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import SteeringPolicy
+
+PAGE_LINES = 64  # 4 KB pages of 64-byte lines
+
+
+class BansheePolicy(SteeringPolicy):
+    """Frequency-threshold fill admission with sampled tag updates."""
+
+    def __init__(
+        self,
+        fill_threshold: int = 2,
+        sample_rate: int = 8,
+        epoch_cycles: int = 200_000,
+        max_pages: int = 1 << 16,
+    ) -> None:
+        super().__init__()
+        self.name = "banshee" if fill_threshold > 0 else "banshee-always"
+        self.fill_threshold = fill_threshold
+        self.sample_rate = max(1, sample_rate)
+        self.epoch_cycles = epoch_cycles
+        self.max_pages = max_pages
+        self._freq: dict[int, int] = {}
+        self._accesses = 0
+        self._last_epoch = 0
+        self.fills_performed = 0
+        self.fills_skipped = 0
+        self.tag_updates = 0
+        self.epochs = 0
+
+    # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        return {
+            "fill_threshold": self.fill_threshold,
+            "sample_rate": self.sample_rate,
+            "epoch_cycles": self.epoch_cycles,
+            "fills_performed": self.fills_performed,
+            "fills_skipped": self.fills_skipped,
+            "tag_updates": self.tag_updates,
+            "epochs": self.epochs,
+        }
+
+    def result_extras(self) -> dict:
+        return {
+            "fills_performed": float(self.fills_performed),
+            "fills_skipped": float(self.fills_skipped),
+            "tag_updates": float(self.tag_updates),
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _page(line: int) -> int:
+        return line // PAGE_LINES
+
+    def frequency(self, line: int) -> int:
+        return self._freq.get(self._page(line), 0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if now - self._last_epoch < self.epoch_cycles:
+            return
+        self._last_epoch = now
+        self.epochs += 1
+        # Recency: halve every counter; drop pages that reach zero.
+        for page in list(self._freq):
+            count = self._freq[page] >> 1
+            if count == 0:
+                del self._freq[page]
+            else:
+                self._freq[page] = count
+
+    def _bump(self, line: int) -> None:
+        """Sampled frequency bump: every ``sample_rate``-th access pays
+        one in-DRAM tag update (the counter lives with the tags)."""
+        self._accesses += 1
+        if self._accesses % self.sample_rate:
+            return
+        page = self._page(line)
+        if page not in self._freq and len(self._freq) >= self.max_pages:
+            # Table full: evict the coldest tracked page.
+            coldest = min(self._freq, key=self._freq.get)
+            del self._freq[coldest]
+        self._freq[page] = self._freq.get(page, 0) + 1
+        self.tag_updates += 1
+        if self.controller is not None:
+            self.controller.charge_tag_update(line)
+
+    def on_read(self, now: int, line: int, core_id: int = -1) -> None:
+        self._bump(line)
+
+    def on_write(self, now: int, line: int) -> None:
+        self._bump(line)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def bypass_fill(self, now: int, line: int) -> bool:
+        """Fill only pages whose frequency cleared the threshold."""
+        if self.frequency(line) >= self.fill_threshold:
+            self.fills_performed += 1
+            return False
+        self.fills_skipped += 1
+        return True

@@ -27,6 +27,12 @@ class SteeringPolicy:
 
     name = "baseline"
 
+    #: Policies that meter the stride prefetcher (CBP-style throttling)
+    #: set this True; the hierarchy then consults :meth:`allow_prefetch`
+    #: before issuing each prefetch. The flag keeps the default hot path
+    #: free of a per-prefetch virtual call.
+    throttles_prefetch = False
+
     def __init__(self) -> None:
         self.controller: Optional["MscController"] = None
         #: Decision observer (a :class:`repro.obs.telemetry.Telemetry`)
@@ -79,6 +85,12 @@ class SteeringPolicy:
         serve from either source."""
         return False
 
+    def allow_prefetch(self, now: int, core_id: int, line: int) -> bool:
+        """May the hierarchy issue this stride prefetch? Consulted only
+        when :attr:`throttles_prefetch` is True (CBP-style throttling);
+        the default grants everything."""
+        return True
+
     # ------------------------------------------------------------------
     # Demand recording (window learners)
     # ------------------------------------------------------------------
@@ -106,6 +118,13 @@ class SteeringPolicy:
     # ------------------------------------------------------------------
     def describe_params(self) -> dict:
         """Key parameters for manifests; subclasses override."""
+        return {}
+
+    def result_extras(self) -> dict:
+        """Per-policy counters merged into ``RunResult.extras`` after a
+        run. Must stay empty for policies covered by the determinism
+        golden (baseline, DAP): the golden fingerprints every extras
+        key, so only additive policies may contribute."""
         return {}
 
     def describe(self) -> str:

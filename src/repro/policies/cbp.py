@@ -1,0 +1,111 @@
+"""CBP-style prefetch throttling driven by observed bandwidth pressure.
+
+Coordinated bandwidth-aware prefetch throttling (in the spirit of
+HPAC/CBP feedback throttling) meters the stride prefetcher when the
+memory system is the bottleneck: aggressive prefetching under bandwidth
+saturation steals demand bandwidth and *loses* performance, so the
+policy grants a per-epoch budget of prefetch credits sized by how busy
+the DRAM queues are.
+
+Every ``epoch_cycles`` the policy samples the occupancy of the main
+memory and cache DRAM queues (the same pressure DAP's credit engine
+balances) and refills its credit pool: an idle memory system gets
+``max_credits``; between ``low_occupancy`` and ``high_occupancy`` the
+budget shrinks linearly; a saturated system gets nothing. Each stride
+prefetch the hierarchy wants to issue consumes one credit via
+:meth:`allow_prefetch`; an empty pool denies the prefetch (the demand
+miss later fetches the line normally). Otherwise the policy steers like
+the baseline — its contribution is purely the throttle.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import SteeringPolicy
+
+
+class CbpPolicy(SteeringPolicy):
+    """Credit-based stride-prefetch throttle over DRAM queue pressure."""
+
+    name = "cbp"
+    throttles_prefetch = True
+
+    def __init__(
+        self,
+        epoch_cycles: int = 20_000,
+        max_credits: int = 256,
+        low_occupancy: float = 2.0,
+        high_occupancy: float = 12.0,
+    ) -> None:
+        super().__init__()
+        self.epoch_cycles = epoch_cycles
+        self.max_credits = max_credits
+        self.low_occupancy = low_occupancy
+        self.high_occupancy = high_occupancy
+        self._credits = max_credits
+        self._last_epoch = 0
+        self.granted = 0
+        self.denied = 0
+        self.epochs = 0
+
+    # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        return {
+            "epoch_cycles": self.epoch_cycles,
+            "max_credits": self.max_credits,
+            "low_occupancy": self.low_occupancy,
+            "high_occupancy": self.high_occupancy,
+            "granted": self.granted,
+            "denied": self.denied,
+            "epochs": self.epochs,
+        }
+
+    def result_extras(self) -> dict:
+        return {
+            "pf_granted": float(self.granted),
+            "pf_denied": float(self.denied),
+        }
+
+    # ------------------------------------------------------------------
+    def deny_rate(self) -> float:
+        total = self.granted + self.denied
+        return self.denied / total if total else 0.0
+
+    def _pressure(self) -> float:
+        """Mean outstanding requests per DRAM channel, both sources."""
+        controller = self.controller
+        if controller is None:
+            return 0.0
+        pending = controller.mm_dev.pending() + controller.cache_dev.pending()
+        channels = (len(controller.mm_dev.channels)
+                    + len(controller.cache_dev.channels))
+        return pending / channels if channels else 0.0
+
+    def _refill(self) -> None:
+        pressure = self._pressure()
+        span = self.high_occupancy - self.low_occupancy
+        if span <= 0:
+            fraction = 0.0 if pressure >= self.high_occupancy else 1.0
+        else:
+            fraction = (self.high_occupancy - pressure) / span
+        fraction = min(1.0, max(0.0, fraction))
+        self._credits = int(self.max_credits * fraction)
+
+    def _maybe_epoch(self, now: int) -> None:
+        if now - self._last_epoch < self.epoch_cycles:
+            return
+        self._last_epoch = now
+        self.epochs += 1
+        self._refill()
+
+    def tick(self, now: int) -> None:
+        self._maybe_epoch(now)
+
+    # ------------------------------------------------------------------
+    def allow_prefetch(self, now: int, core_id: int, line: int) -> bool:
+        self._maybe_epoch(now)
+        if self._credits > 0:
+            self._credits -= 1
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False

@@ -1,0 +1,110 @@
+"""TUNTU-style selective replacement update ("To Update or Not To
+Update", Young & Qureshi).
+
+A conventional DRAM cache spends one cache write per read miss keeping
+the cache contents current (the *replacement update*, our fill write).
+TUNTU observes that for low-reuse pages that update is wasted bandwidth:
+the filled block is evicted before it is ever re-read. It therefore
+performs the update *selectively* — only once a page has demonstrated
+reuse — and drops the rest, trading a little hit rate for DRAM-cache
+fill bandwidth.
+
+The reuse detector is a bounded first-touch filter: the first miss to a
+page skips its update and records the page; a second miss to a recorded
+page proves reuse and promotes it, after which its updates are
+performed. Promotions decay every ``epoch_cycles`` so a page must keep
+re-missing to keep its update privilege (phase changes demote).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import SteeringPolicy
+
+PAGE_LINES = 64  # 4 KB pages of 64-byte lines
+
+
+class TuntuPolicy(SteeringPolicy):
+    """Skip low-value cache updates to save fill bandwidth."""
+
+    def __init__(
+        self,
+        epoch_cycles: int = 400_000,
+        max_tracked: int = 1 << 15,
+    ) -> None:
+        super().__init__()
+        self.name = "tuntu"
+        self.epoch_cycles = epoch_cycles
+        self.max_tracked = max_tracked
+        self._seen: dict[int, None] = {}      # first-touch filter (FIFO)
+        self._reuse: dict[int, None] = {}     # pages with proven reuse
+        self._last_epoch = 0
+        self.fills_performed = 0
+        self.fills_skipped = 0
+        self.promotions = 0
+        self.epochs = 0
+
+    # ------------------------------------------------------------------
+    def describe_params(self) -> dict:
+        return {
+            "epoch_cycles": self.epoch_cycles,
+            "max_tracked": self.max_tracked,
+            "fills_performed": self.fills_performed,
+            "fills_skipped": self.fills_skipped,
+            "promotions": self.promotions,
+            "epochs": self.epochs,
+        }
+
+    def result_extras(self) -> dict:
+        return {
+            "fills_performed": float(self.fills_performed),
+            "fills_skipped": float(self.fills_skipped),
+            "promotions": float(self.promotions),
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _page(line: int) -> int:
+        return line // PAGE_LINES
+
+    def has_reuse(self, line: int) -> bool:
+        return self._page(line) in self._reuse
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if now - self._last_epoch < self.epoch_cycles:
+            return
+        self._last_epoch = now
+        self.epochs += 1
+        # Phase adaptation: promoted pages must re-prove their reuse.
+        self._seen.clear()
+        self._seen.update(self._reuse)
+        self._reuse.clear()
+
+    def _remember(self, page: int) -> None:
+        if page in self._seen:
+            return
+        if len(self._seen) >= self.max_tracked:
+            self._seen.pop(next(iter(self._seen)))
+        self._seen[page] = None
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def bypass_fill(self, now: int, line: int) -> bool:
+        """First-touch pages skip the replacement update; pages with
+        demonstrated reuse perform it."""
+        page = self._page(line)
+        if page in self._reuse:
+            self.fills_performed += 1
+            return False
+        if page in self._seen:
+            del self._seen[page]
+            self._reuse[page] = None
+            self.promotions += 1
+            self.fills_performed += 1
+            return False
+        self._remember(page)
+        self.fills_skipped += 1
+        return True

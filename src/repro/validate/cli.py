@@ -7,6 +7,7 @@ Usage::
     repro-validate report validation.json            # re-render a document
     repro-validate diff validation.json              # vs committed VERDICTS.json
     repro-validate diff baseline.json candidate.json # explicit pair
+    repro-validate diff v.json --only baselines prefetch  # scoped gate
 
 ``run`` executes the named experiments through the same cell engine as
 ``repro-experiment`` (shared cache and all), judges every registered
@@ -24,6 +25,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.backends import BACKEND_NAMES
 from repro.errors import ReproError
 from repro.validate.diff import diff_validations
 from repro.validate.evaluate import (
@@ -51,30 +53,43 @@ def validate_experiments(
     jobs: int = 1,
     cache=None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> dict:
     """Run experiments and judge their claims; returns the document.
 
     Experiments without a registered claims block are recorded with an
     empty claim list (verdict ``pass``) so the document always covers
     the requested set. Experiments that fail to run are recorded as
-    ``error`` — the document never silently shrinks.
+    ``error`` — the document never silently shrinks. Per-experiment
+    cell-engine stats (executed vs cache-hit counts) are printed as
+    each experiment completes so CI logs show how warm the cache was;
+    they are deliberately kept out of the document, which must stay
+    byte-stable across warm and cold regenerations.
     """
     from repro.experiments.exec import run_spec
     from repro.experiments.registry import get_spec
 
     entries: dict[str, dict] = {}
+    executed = cache_hits = 0
     for name in names:
         spec = get_spec(name)
         try:
             result = run_spec(spec, scale=scale, jobs=jobs, cache=cache,
-                              resume=resume)
+                              resume=resume, backend=backend)
         except ReproError as exc:
             entries[name] = failed_entry(spec.title, str(exc))
             continue
+        stats = getattr(result, "stats", None)
+        if stats is not None:
+            executed += stats.executed
+            cache_hits += stats.cache_hits
+            print(f"[{name}: {stats.summary()}]")
         entry = evaluate_result(spec, result)
         if entry is None:
             entry = {"title": spec.title, "verdict": "pass", "claims": []}
         entries[name] = entry
+    print(f"[cells across {len(names)} experiment(s): "
+          f"{executed} executed, {cache_hits} cache hits]")
     scale_name = scale or os.environ.get("REPRO_SCALE", "smoke")
     return build_validation(entries, scale=scale_name)
 
@@ -92,7 +107,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else CellCache(
         args.cache_dir or default_cache_dir())
     doc = validate_experiments(names, args.scale, jobs=max(1, args.jobs),
-                               cache=cache, resume=args.resume)
+                               cache=cache, resume=args.resume,
+                               backend=args.backend)
     path = write_validation(args.out, doc)
     print(f"[validation document written to {path}]")
     if args.md:
@@ -119,6 +135,26 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _restrict(doc: dict, names: Sequence[str], path: str,
+              strict: bool = False) -> dict:
+    """Narrow a document to the named experiments (for ``diff --only``).
+
+    ``strict`` errors on names the document lacks — applied to the
+    candidate (a gate must not silently skip a vanished experiment) but
+    not the baseline, so new experiments still diff cleanly against a
+    baseline that predates them.
+    """
+    experiments = doc.get("experiments", {})
+    unknown = sorted(set(names) - set(experiments))
+    if unknown and strict:
+        raise ReproError(
+            f"--only names not in {path}: {', '.join(unknown)} "
+            f"(has: {', '.join(sorted(experiments))})")
+    return {**doc,
+            "experiments": {n: experiments[n] for n in names
+                            if n in experiments}}
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
     if args.candidate is None:
         baseline_path, candidate_path = DEFAULT_BASELINE, args.baseline
@@ -126,7 +162,13 @@ def cmd_diff(args: argparse.Namespace) -> int:
         baseline_path, candidate_path = args.baseline, args.candidate
     baseline = load_validation(baseline_path)
     candidate = load_validation(candidate_path)
-    print(f"[diffing {candidate_path} against {baseline_path}]")
+    scope = ""
+    if args.only:
+        baseline = _restrict(baseline, args.only, baseline_path)
+        candidate = _restrict(candidate, args.only, candidate_path,
+                              strict=True)
+        scope = f" (only: {', '.join(args.only)})"
+    print(f"[diffing {candidate_path} against {baseline_path}{scope}]")
     diff = diff_validations(baseline, candidate)
     print(diff.render())
     if diff.regressed and not args.no_fail:
@@ -160,6 +202,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      help="disable the on-disk cell cache")
     run.add_argument("--resume", action="store_true",
                      help="retry cells whose previous attempt failed")
+    run.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                     help="simulation backend (python, numpy, auto); "
+                          "results are bit-identical across backends")
     run.add_argument("--out", metavar="FILE", default="validation.json",
                      help="validation document path (default: "
                           "validation.json)")
@@ -183,6 +228,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            f"baseline defaulting to {DEFAULT_BASELINE})")
     diff.add_argument("candidate", nargs="?", default=None,
                       help="candidate document")
+    diff.add_argument("--only", nargs="+", metavar="EXPERIMENT",
+                      default=None,
+                      help="restrict the diff to these experiments "
+                           "(the candidate must contain them all)")
     diff.add_argument("--no-fail", action="store_true",
                       help="report but always exit 0")
     diff.set_defaults(fn=cmd_diff)

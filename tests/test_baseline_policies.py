@@ -1,0 +1,174 @@
+"""Tests for the Banshee, TUNTU and CBP related-work policies."""
+
+from repro.cache.sectored import SectoredCacheArray
+from repro.engine import Simulator
+from repro.hierarchy.msc_sectored import SectoredMscController
+from repro.mem.configs import ddr4_2400, hbm_102
+from repro.mem.device import MemoryDevice
+from repro.mem.request import AccessKind, Request
+from repro.policies.banshee import BansheePolicy
+from repro.policies.cbp import CbpPolicy
+from repro.policies.tuntu import TuntuPolicy
+
+
+def make_controller(policy, capacity=8 << 20):
+    sim = Simulator()
+    cache_dev = MemoryDevice(sim, hbm_102())
+    mm_dev = MemoryDevice(sim, ddr4_2400())
+    array = SectoredCacheArray("l4", capacity, assoc=4, sector_bytes=4096)
+    ctrl = SectoredMscController(sim, cache_dev, mm_dev, array, policy=policy,
+                                 tag_cache=None)
+    return sim, ctrl
+
+
+# ----------------------------------------------------------------------
+# Banshee
+# ----------------------------------------------------------------------
+
+def test_banshee_cold_pages_bypass_fill():
+    policy = BansheePolicy(fill_threshold=2, sample_rate=1)
+    sim, ctrl = make_controller(policy)
+    assert policy.bypass_fill(now=0, line=10) is True
+    assert policy.fills_skipped == 1
+    assert policy.fills_performed == 0
+
+
+def test_banshee_fills_once_frequency_clears_threshold():
+    policy = BansheePolicy(fill_threshold=2, sample_rate=1)
+    sim, ctrl = make_controller(policy)
+    policy.on_read(0, line=10)
+    assert policy.bypass_fill(now=0, line=10) is True  # freq 1 < 2
+    policy.on_read(0, line=10)
+    assert policy.frequency(10) == 2
+    assert policy.bypass_fill(now=0, line=10) is False
+    assert policy.fills_performed == 1
+    # The whole 4KB page is hot, not just the line.
+    assert policy.bypass_fill(now=0, line=11) is False
+
+
+def test_banshee_tag_updates_charge_cache_dram_traffic():
+    policy = BansheePolicy(sample_rate=1)
+    sim, ctrl = make_controller(policy)
+    policy.on_read(0, line=10)
+    policy.on_write(0, line=20)
+    sim.run()
+    assert policy.tag_updates == 2
+    assert ctrl.stats.meta_writes == 2
+    assert ctrl.cache_dev.cas_by_kind().get(AccessKind.META_WRITE) == 2
+
+
+def test_banshee_samples_one_in_n_accesses():
+    policy = BansheePolicy(sample_rate=4)
+    sim, ctrl = make_controller(policy)
+    for _ in range(8):
+        policy.on_read(0, line=10)
+    assert policy.tag_updates == 2
+    assert policy.frequency(10) == 2
+
+
+def test_banshee_epoch_halves_counters_and_drops_cold_pages():
+    policy = BansheePolicy(sample_rate=1, epoch_cycles=100)
+    sim, ctrl = make_controller(policy)
+    for _ in range(4):
+        policy.on_read(0, line=10)
+    policy.on_read(0, line=64 * 7)  # page 7: counter 1
+    policy.tick(now=100)
+    assert policy.frequency(10) == 2
+    assert policy.frequency(64 * 7) == 0  # 1 >> 1 == 0: dropped
+
+
+def test_banshee_always_variant_always_fills():
+    policy = BansheePolicy(fill_threshold=0, sample_rate=1)
+    assert policy.name == "banshee-always"
+    sim, ctrl = make_controller(policy)
+    assert policy.bypass_fill(now=0, line=10) is False  # cold, fills anyway
+    assert policy.fills_performed == 1
+    assert policy.fills_skipped == 0
+    # ... and still pays the tag-update traffic.
+    policy.on_read(0, line=10)
+    assert policy.tag_updates == 1
+
+
+# ----------------------------------------------------------------------
+# TUNTU
+# ----------------------------------------------------------------------
+
+def test_tuntu_first_touch_skips_then_reuse_promotes():
+    policy = TuntuPolicy()
+    sim, ctrl = make_controller(policy)
+    assert policy.bypass_fill(now=0, line=10) is True  # first touch
+    assert policy.fills_skipped == 1
+    assert policy.bypass_fill(now=0, line=12) is False  # same page: reuse
+    assert policy.promotions == 1
+    assert policy.has_reuse(10)
+    assert policy.bypass_fill(now=0, line=13) is False  # stays promoted
+    assert policy.fills_performed == 2
+
+
+def test_tuntu_epoch_demotes_promoted_pages():
+    policy = TuntuPolicy(epoch_cycles=100)
+    sim, ctrl = make_controller(policy)
+    policy.bypass_fill(now=0, line=10)
+    policy.bypass_fill(now=0, line=10)
+    assert policy.has_reuse(10)
+    policy.tick(now=100)
+    assert not policy.has_reuse(10)
+    # The demoted page sits in the first-touch filter: one miss re-proves.
+    assert policy.bypass_fill(now=101, line=10) is False
+    assert policy.promotions == 2
+
+
+def test_tuntu_first_touch_filter_is_bounded():
+    policy = TuntuPolicy(max_tracked=2)
+    sim, ctrl = make_controller(policy)
+    for page in range(3):  # page 0 falls out of the 2-entry FIFO
+        policy.bypass_fill(now=0, line=page * 64)
+    assert policy.bypass_fill(now=0, line=0) is True  # forgotten: first touch
+    assert policy.bypass_fill(now=0, line=2 * 64) is False  # still tracked
+
+
+# ----------------------------------------------------------------------
+# CBP
+# ----------------------------------------------------------------------
+
+def test_cbp_grants_prefetches_when_memory_is_idle():
+    policy = CbpPolicy(max_credits=4)
+    sim, ctrl = make_controller(policy)
+    assert policy.throttles_prefetch is True
+    for _ in range(4):
+        assert policy.allow_prefetch(now=0, core_id=0, line=10) is True
+    assert policy.granted == 4
+
+
+def test_cbp_denies_once_the_credit_pool_drains():
+    policy = CbpPolicy(max_credits=2)
+    sim, ctrl = make_controller(policy)
+    assert policy.allow_prefetch(now=0, core_id=0, line=10) is True
+    assert policy.allow_prefetch(now=0, core_id=0, line=11) is True
+    assert policy.allow_prefetch(now=0, core_id=0, line=12) is False
+    assert policy.denied == 1
+    assert 0.0 < policy.deny_rate() < 1.0
+
+
+def test_cbp_refills_nothing_under_queue_pressure():
+    policy = CbpPolicy(epoch_cycles=100, max_credits=8,
+                       low_occupancy=0.0, high_occupancy=0.5)
+    sim, ctrl = make_controller(policy)
+    for i in range(64):  # saturate the DRAM queues
+        ctrl.mm_dev.enqueue(Request(line=i * 64, kind=AccessKind.DEMAND_READ))
+    policy.allow_prefetch(now=100, core_id=0, line=10)  # epoch: refill at 0
+    assert policy.allow_prefetch(now=100, core_id=0, line=11) is False
+    assert policy.denied >= 1
+
+
+def test_cbp_recovers_credits_when_pressure_clears():
+    policy = CbpPolicy(epoch_cycles=100, max_credits=8,
+                       low_occupancy=0.0, high_occupancy=0.5)
+    sim, ctrl = make_controller(policy)
+    for i in range(64):
+        ctrl.mm_dev.enqueue(Request(line=i * 64, kind=AccessKind.DEMAND_READ))
+    policy.tick(now=100)
+    assert policy.allow_prefetch(now=100, core_id=0, line=10) is False
+    sim.run()  # drain the queues
+    policy.tick(now=100_000)
+    assert policy.allow_prefetch(now=100_000, core_id=0, line=10) is True

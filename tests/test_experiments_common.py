@@ -57,7 +57,7 @@ def test_experiment_result_rendering():
 def test_runner_registry_covers_all_artifacts():
     expected = {"fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
                 "table1", "fig09", "fig10", "fig11", "fig12", "fig13",
-                "fig14", "fig15", "ablation", "flat"}
+                "fig14", "fig15", "ablation", "flat", "baselines", "prefetch"}
     assert set(EXPERIMENTS) == expected
 
 

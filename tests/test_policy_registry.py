@@ -1,0 +1,98 @@
+"""Registry coverage: every registered policy is buildable, described,
+exercised by an experiment cell, and judged by at least one claim.
+
+This is the guard against half-registered policies: a name added to
+``POLICY_NAMES`` without a constructor arm, a manifest description, an
+experiment cell, or claim coverage fails here rather than deep inside a
+sweep.
+"""
+
+import pytest
+
+from repro.experiments.common import SMOKE
+from repro.experiments.registry import iter_specs
+from repro.hierarchy.system import POLICY_NAMES, SystemConfig, _make_policy
+from repro.policies.base import SteeringPolicy
+
+#: Policies reachable from the CLI but deliberately absent from every
+#: registered spec (``dap-ta`` is the thread-aware CLI variant; the
+#: registered experiments use plain ``dap``).
+CELL_EXEMPT = {"dap-ta"}
+
+
+def _config_for(name: str) -> SystemConfig:
+    # BEAR is an Alloy-cache fill policy; everything else runs sectored.
+    kind = "alloy" if name == "bear" else "sectored"
+    return SystemConfig(policy=name, msc_kind=kind)
+
+
+def _cells_by_policy() -> dict:
+    """Map policy name -> set of spec names with at least one cell."""
+    covered: dict[str, set] = {}
+    for spec in iter_specs():
+        workloads = (spec.default_workloads
+                     if getattr(spec, "workload_aware", False) else None)
+        for cell in spec.cells(SMOKE, workloads):
+            config = getattr(cell, "config", None)
+            policy = getattr(config, "policy", None)
+            if policy:
+                covered.setdefault(policy, set()).add(spec.name)
+    return covered
+
+
+def _specs_with_claims() -> set:
+    return {spec.name for spec in iter_specs()
+            if spec.claims and list(spec.claims())}
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_policy_constructs_with_defaults(name):
+    policy = _make_policy(_config_for(name), b_ms=0.4, b_mm=0.15)
+    assert isinstance(policy, SteeringPolicy)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_policy_describes_itself(name):
+    policy = _make_policy(_config_for(name), b_ms=0.4, b_mm=0.15)
+    assert isinstance(policy.describe(), str) and policy.describe()
+    assert isinstance(policy.describe_params(), dict)
+    assert isinstance(policy.result_extras(), dict)
+
+
+@pytest.mark.parametrize("name", ("baseline", "dap"))
+def test_golden_covered_policies_keep_extras_empty(name):
+    # The determinism golden fingerprints every RunResult.extras key of
+    # the baseline and DAP runs; these policies must not grow extras.
+    policy = _make_policy(_config_for(name), b_ms=0.4, b_mm=0.15)
+    assert policy.result_extras() == {}
+
+
+def test_every_policy_has_an_experiment_cell():
+    covered = _cells_by_policy()
+    missing = [name for name in POLICY_NAMES
+               if name not in CELL_EXEMPT and name not in covered]
+    assert not missing, (
+        f"policies registered but exercised by no experiment cell: {missing}")
+
+
+def test_every_exercised_policy_is_claim_covered():
+    # A policy is claim-covered when at least one spec whose cells run
+    # it registers claims — the claims judge tables built from those
+    # cells, so the policy's behavior gates validation.
+    covered = _cells_by_policy()
+    with_claims = _specs_with_claims()
+    unjudged = [name for name, specs in sorted(covered.items())
+                if not (specs & with_claims)]
+    assert not unjudged, (
+        f"policies with cells but no claim coverage: {unjudged}")
+
+
+def test_new_baseline_policies_are_named_in_claims():
+    # The related-work frontier policies must be referenced by name in
+    # claim text, not just implicitly via table columns.
+    text = " ".join(
+        f"{claim.id} {claim.claim}"
+        for spec in iter_specs() if spec.claims
+        for claim in spec.claims())
+    for name in ("banshee", "tuntu", "cbp"):
+        assert name in text.lower(), f"no claim names policy {name!r}"
